@@ -1,0 +1,490 @@
+(* Benchmark harness: regenerates every table and figure of the thesis's
+   evaluation, plus the ablations called out in DESIGN.md.
+
+     dune exec bench/main.exe            # figures + Bechamel micro-benchmarks
+     dune exec bench/main.exe -- quick   # skip the Bechamel pass
+
+   Figures:
+   - Figure 3.1  bit-concatenation layout
+   - Figure 4.1  ALU code generation (generic vs optimized)
+   - Figure 4.2  Selector code generation
+   - Figure 4.3  Memory code generation
+   - Figure 5.1  execution-time comparison of ASIM and ASIM II on the stack
+                 machine sieve (5545 cycles)
+*)
+
+open Bechamel
+open Toolkit
+
+let hr title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ------------------------------------------------------------------ *)
+(* Figure 3.1                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let figure_3_1 () =
+  hr "Figure 3.1 — bit concatenation: mem.3.4,#01,count.1";
+  let expr = Asim.Parser.parse_expr "mem.3.4,#01,count.1" in
+  let mem = 0b11000 and count = 0b10 in
+  let v =
+    Asim.Expr.eval ~read:(function "mem" -> mem | _ -> count) expr
+  in
+  Printf.printf "mem   = %s (bits 3..4 = 11)\n" (Asim.Bits.to_binary_string ~width:8 mem);
+  Printf.printf "count = %s (bit 1 = 1)\n" (Asim.Bits.to_binary_string ~width:8 count);
+  Printf.printf "mem.3.4,#01,count.1 = %s (= %d): fields packed msb-first\n"
+    (Asim.Bits.to_binary_string ~width:5 v)
+    v;
+  Printf.printf "width = %d bits\n" (Asim.Expr.width expr)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 4.1 / 4.2 / 4.3                                             *)
+(* ------------------------------------------------------------------ *)
+
+let show_spec_and_lines title source ~pick =
+  hr title;
+  print_string "Specification:\n\n";
+  String.split_on_char '\n' source
+  |> List.iteri (fun i line -> if i > 0 && line <> "" && line <> "." then Printf.printf "  %s\n" line);
+  print_string "\nCode generated (Pascal backend):\n\n";
+  let code = Asim_codegen.Pascal.generate (Asim.load_string source) in
+  String.split_on_char '\n' code
+  |> List.iter (fun line ->
+         let t = String.trim line in
+         if pick t then Printf.printf "  %s\n" t)
+
+let starts_with prefix s =
+  String.length s >= String.length prefix && String.sub s 0 (String.length prefix) = prefix
+
+let figure_4_1 () =
+  show_spec_and_lines
+    "Figure 4.1 — ALU specification and code generated"
+    "# fig 4.1\nalu add compute left .\nA alu compute left 3048\nA add 4 left 3048\nA compute 1 0 7\nA left 1 0 1\n.\n"
+    ~pick:(fun l -> starts_with "ljbalu :=" l || starts_with "ljbadd :=" l)
+
+let figure_4_2 () =
+  show_spec_and_lines
+    "Figure 4.2 — Selector specification and code generated"
+    "# fig 4.2\nselector index value0 value1 value2 value3 .\nS selector index value0 value1 value2 value3\nA index 1 0 2\nA value0 1 0 10\nA value1 1 0 11\nA value2 1 0 12\nA value3 1 0 13\n.\n"
+    ~pick:(fun l ->
+      starts_with "case ljbindex" l || starts_with "0:" l || starts_with "1:" l
+      || starts_with "2:" l || starts_with "3:" l || l = "end;")
+
+let figure_4_3 () =
+  show_spec_and_lines
+    "Figure 4.3 — Memory specification and code generated"
+    "# fig 4.3\nmemory address data operation .\nM memory address data operation -4 12 34 56 78\nA address 1 0 1\nA data 1 0 99\nA operation 1 0 13\n.\n"
+    ~pick:(fun l ->
+      starts_with "ljbmemory[" l || starts_with "case land(opnmemory" l
+      || starts_with "tempmemory :=" l || starts_with "soutput" l
+      || starts_with "if land(opnmemory" l || starts_with "writeln('Write" l
+      || starts_with "writeln('Read" l)
+
+(* ------------------------------------------------------------------ *)
+(* Figure 5.1                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let sieve_analysis () =
+  Asim.Analysis.analyze
+    (Asim_stackm.Microcode.spec ~cycles:Asim_stackm.Programs.sieve_cycles
+       ~program:Asim_stackm.Programs.sieve ())
+
+(* Time one engine running the sieve for [reps * 5545] cycles and return
+   seconds per 5545-cycle run. *)
+let sim_time ~reps build =
+  let analysis = sieve_analysis () in
+  (* Building is part of "preparation", not simulation. *)
+  let machines = List.init reps (fun _ -> build analysis) in
+  let (), t =
+    time (fun () ->
+        List.iter
+          (fun m -> Asim.Machine.run m ~cycles:Asim_stackm.Programs.sieve_cycles)
+          machines)
+  in
+  t /. float_of_int reps
+
+let figure_5_1 () =
+  hr "Figure 5.1 — execution time comparison of ASIM and ASIM II";
+  Printf.printf
+    "Workload: Itty Bitty Stack Machine running the Sieve of Eratosthenes,\n\
+     5545 cycles (the paper's exact configuration).  Paper timings were on a\n\
+     VAX 11/780; ours are on this machine — compare shapes and ratios, not\n\
+     absolute numbers.\n\n";
+
+  let reps = 5 in
+  (* ASIM: read the specification into tables, then interpret. *)
+  let _, asim_prepare =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Asim.Interp.create ~config:Asim.Machine.quiet_config (sieve_analysis ()))
+        done)
+  in
+  let asim_prepare = asim_prepare /. float_of_int reps in
+  let asim_sim =
+    sim_time ~reps (fun a -> Asim.Interp.create ~config:Asim.Machine.quiet_config a)
+  in
+
+  (* ASIM II: generate a simulator program, compile it, execute it. *)
+  let pipeline =
+    Asim_codegen.Pipeline.run ~cycles:Asim_stackm.Programs.sieve_cycles
+      ~lang:Asim_codegen.Codegen.Ocaml (sieve_analysis ())
+  in
+
+  (* ASIM II, in-process variant: compile the spec to closures. *)
+  let _, closures_prepare =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Asim.Compile.create ~config:Asim.Machine.quiet_config (sieve_analysis ()))
+        done)
+  in
+  let closures_prepare = closures_prepare /. float_of_int reps in
+  let closures_sim =
+    sim_time ~reps (fun a -> Asim.Compile.create ~config:Asim.Machine.quiet_config a)
+  in
+
+  Printf.printf "%-46s %12s %12s\n" "" "paper (s)" "here (s)";
+  let row label paper here = Printf.printf "%-46s %12s %12.4f\n" label paper here in
+  Printf.printf "ASIM (interpreter)\n";
+  row "  Generate tables" "10.8" asim_prepare;
+  row "  Simulation time" "310.6" asim_sim;
+  (match pipeline with
+  | Ok r ->
+      let t = r.Asim_codegen.Pipeline.timings in
+      Printf.printf "ASIM II (generate + compile + execute)\n";
+      row "  Generate code" "34.2" t.Asim_codegen.Pipeline.generate_s;
+      row "  Compile" "43.2" t.Asim_codegen.Pipeline.compile_s;
+      row "  Simulation time" "15.0" t.Asim_codegen.Pipeline.run_s;
+      Printf.printf "ASIM II (in-process closure compiler)\n";
+      row "  Compile to closures" "-" closures_prepare;
+      row "  Simulation time" "-" closures_sim;
+      Printf.printf "Traditional methods (reported, not measured)\n";
+      Printf.printf "%-46s %12s %12s\n" "  Generate prototype" "100000" "-";
+      Printf.printf "%-46s %12s %12s\n" "  Run prototype" "0.01" "-";
+      print_newline ();
+      let sim_ratio = asim_sim /. max 1e-9 t.Asim_codegen.Pipeline.run_s in
+      let closure_ratio = asim_sim /. max 1e-9 closures_sim in
+      let end_to_end =
+        (asim_prepare +. asim_sim)
+        /. max 1e-9
+             (t.Asim_codegen.Pipeline.generate_s
+             +. t.Asim_codegen.Pipeline.compile_s
+             +. t.Asim_codegen.Pipeline.run_s)
+      in
+      Printf.printf "simulation-only speedup (paper: ~20x, abstract: \"approximately\n";
+      Printf.printf "an order of magnitude\"):                        %6.1fx\n" sim_ratio;
+      Printf.printf "closure-engine simulation speedup:              %6.1fx\n" closure_ratio;
+      Printf.printf "end-to-end speedup incl. preparation (paper: ~2.5x): %.2fx\n" end_to_end;
+
+      (* Where the crossover falls: the paper's extra preparation (66.6 s)
+         was repaid after ~1250 cycles, so its 5545-cycle workload showed an
+         end-to-end win.  Our compiler is relatively more expensive per
+         cycle saved, so the crossover sits at more cycles. *)
+      let interp_per_cycle = asim_sim /. 5545. in
+      let binary_per_cycle = t.Asim_codegen.Pipeline.run_s /. 5545. in
+      let extra_prep =
+        t.Asim_codegen.Pipeline.generate_s +. t.Asim_codegen.Pipeline.compile_s
+        -. asim_prepare
+      in
+      let crossover =
+        extra_prep /. max 1e-12 (interp_per_cycle -. binary_per_cycle)
+      in
+      Printf.printf "\nend-to-end crossover: ASIM II wins beyond ~%.0f cycles\n" crossover;
+      Printf.printf "(paper: ~%.0f cycles, so its 5545-cycle run was already past it)\n"
+        (66.6 /. ((310.6 -. 15.0) /. 5545.));
+      (* Verify with a long run: the re-assembled sieve parks in a halt
+         spin, so it can execute any cycle budget. *)
+      let long = int_of_float (4. *. crossover) in
+      let long_spec () =
+        Asim.Analysis.analyze
+          (Asim_stackm.Microcode.spec ~program:Asim_stackm.Demos.sieve_reassembled ())
+      in
+      let _, interp_long =
+        time (fun () ->
+            let m = Asim.Interp.create ~config:Asim.Machine.quiet_config (long_spec ()) in
+            Asim.Machine.run m ~cycles:long)
+      in
+      (match
+         Asim_codegen.Pipeline.run ~cycles:long ~lang:Asim_codegen.Codegen.Ocaml
+           (long_spec ())
+       with
+      | Ok r2 ->
+          let t2 = r2.Asim_codegen.Pipeline.timings in
+          let e2e =
+            (asim_prepare +. interp_long)
+            /. (t2.Asim_codegen.Pipeline.generate_s
+               +. t2.Asim_codegen.Pipeline.compile_s
+               +. t2.Asim_codegen.Pipeline.run_s)
+          in
+          Printf.printf
+            "verification at %d cycles: ASIM %.3f s vs ASIM II %.3f s -> %.2fx end-to-end\n"
+            long
+            (asim_prepare +. interp_long)
+            (t2.Asim_codegen.Pipeline.generate_s
+            +. t2.Asim_codegen.Pipeline.compile_s
+            +. t2.Asim_codegen.Pipeline.run_s)
+            e2e
+      | Error _ -> ())
+  | Error e ->
+      Printf.printf "ASIM II pipeline unavailable here (%s);\n" e;
+      Printf.printf "in-process closure compiler stands in:\n";
+      row "  Compile to closures" "34.2+43.2" closures_prepare;
+      row "  Simulation time" "15.0" closures_sim;
+      Printf.printf "simulation-only speedup (paper: ~20x): %6.1fx\n"
+        (asim_sim /. max 1e-9 closures_sim))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (DESIGN.md)                                               *)
+(* ------------------------------------------------------------------ *)
+
+let figure_ablation () =
+  hr "Ablation — §4.4 optimizations in the closure engine";
+  let reps = 5 in
+  let optimized =
+    sim_time ~reps (fun a ->
+        Asim.Compile.create ~config:Asim.Machine.quiet_config ~optimize:true a)
+  in
+  let unoptimized =
+    sim_time ~reps (fun a ->
+        Asim.Compile.create ~config:Asim.Machine.quiet_config ~optimize:false a)
+  in
+  let interp =
+    sim_time ~reps (fun a -> Asim.Interp.create ~config:Asim.Machine.quiet_config a)
+  in
+  Printf.printf "sieve, 5545 cycles, seconds per run:\n";
+  Printf.printf "  interpreter (symbol-table walk):        %.4f\n" interp;
+  Printf.printf "  closures, optimizations disabled:       %.4f\n" unoptimized;
+  Printf.printf "  closures, constant fn/op specialized:   %.4f\n" optimized;
+  Printf.printf "optimization contribution: %.2fx of the closure engine's win\n"
+    (unoptimized /. max 1e-9 optimized)
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: the interpretation tax as specifications grow              *)
+(* ------------------------------------------------------------------ *)
+
+(* A synthetic machine with [n] chained adders feeding one register, so the
+   combinational work grows linearly with [n]. *)
+let chain_spec n =
+  let open Asim in
+  let open Asim.Expr in
+  let alu name fn left right =
+    { Asim.Component.name; kind = Asim.Component.Alu { fn; left; right } }
+  in
+  let first = alu "a0" [ num 4 ] [ ref_ "r" ] [ num 1 ] in
+  let rest =
+    List.init (n - 1) (fun i ->
+        alu
+          (Printf.sprintf "a%d" (i + 1))
+          [ num 4 ]
+          [ Expr.ref_range (Printf.sprintf "a%d" i) 0 15 ]
+          [ num_w (i land 7) ~width:3 ])
+  in
+  let reg =
+    {
+      Asim.Component.name = "r";
+      kind =
+        Asim.Component.Memory
+          {
+            addr = [ num 0 ];
+            data = [ Expr.ref_range (Printf.sprintf "a%d" (n - 1)) 0 15 ];
+            op = [ num 1 ];
+            cells = 1;
+            init = None;
+          };
+    }
+  in
+  Asim.Analysis.analyze (Asim.Spec.make ((first :: rest) @ [ reg ]))
+
+let figure_scaling () =
+  hr "Extension — per-cycle cost vs specification size (who wins, where)";
+  Printf.printf "%8s %16s %16s %8s\n" "ALUs" "interp ns/cycle" "compiled ns/cycle"
+    "ratio";
+  List.iter
+    (fun n ->
+      let analysis = chain_spec n in
+      let cycles = max 200 (2_000_000 / n) in
+      let per_cycle build =
+        let m : Asim.Machine.t = build analysis in
+        (* warm up *)
+        Asim.Machine.run m ~cycles:10;
+        let _, t = time (fun () -> Asim.Machine.run m ~cycles) in
+        t /. float_of_int cycles *. 1e9
+      in
+      let interp =
+        per_cycle (fun a -> Asim.Interp.create ~config:Asim.Machine.quiet_config a)
+      in
+      let compiled =
+        per_cycle (fun a -> Asim.Compile.create ~config:Asim.Machine.quiet_config a)
+      in
+      Printf.printf "%8d %16.0f %16.0f %7.1fx\n" n interp compiled
+        (interp /. compiled))
+    [ 4; 16; 64; 256; 1024 ];
+  Printf.printf
+    "(the compiled engine wins at every size; the gap is the per-reference\n\
+    \ symbol interpretation ASIM II eliminates)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Levels of abstraction (§1.2, §1.3, §2.2): ISP vs RTL                *)
+(* ------------------------------------------------------------------ *)
+
+let figure_levels () =
+  hr "Extension — abstraction levels: instruction set (ISP) vs register transfer";
+  let reps = 5 in
+  let instructions =
+    let t = Asim_stackm.Ispsim.create Asim_stackm.Programs.sieve in
+    Asim_stackm.Ispsim.run t
+  in
+  let _, isp_time =
+    time (fun () ->
+        for _ = 1 to reps do
+          ignore (Asim_stackm.Ispsim.run (Asim_stackm.Ispsim.create Asim_stackm.Programs.sieve))
+        done)
+  in
+  let isp_time = isp_time /. float_of_int reps in
+  let rtl_time =
+    sim_time ~reps (fun a -> Asim.Compile.create ~config:Asim.Machine.quiet_config a)
+  in
+  Printf.printf
+    "sieve workload: %d instructions at the ISP level, %d cycles at the RTL\n"
+    instructions Asim_stackm.Programs.sieve_cycles;
+  Printf.printf "  cycles per instruction: %.2f (timing detail the ISP cannot see, §1.3)\n"
+    (float_of_int Asim_stackm.Programs.sieve_cycles /. float_of_int instructions);
+  Printf.printf "  ISP run %.5f s, compiled RTL run %.5f s -> ISP is %.0fx faster\n"
+    isp_time rtl_time (rtl_time /. max 1e-9 isp_time);
+  (* ...and one level further down: the boolean network of §2.2.2. *)
+  let analysis = sieve_analysis () in
+  let gates = Asim_gates.Circuit.of_analysis analysis in
+  let g_stats = Asim_gates.Circuit.stats gates in
+  let _, gate_time =
+    time (fun () ->
+        Asim_gates.Circuit.run gates ~cycles:Asim_stackm.Programs.sieve_cycles)
+  in
+  Printf.printf
+    "  gate-level run %.4f s through %d gates / %d flip-flops / %d macros\n"
+    gate_time g_stats.Asim_gates.Circuit.gate_count
+    g_stats.Asim_gates.Circuit.dff_count g_stats.Asim_gates.Circuit.macro_count;
+  Printf.printf "  ladder (per sieve run): ISP %.5f s < RTL %.5f s < gates %.4f s\n"
+    isp_time rtl_time gate_time;
+  Printf.printf
+    "  (the classic trade: each level up simulates faster and reveals less —\n\
+    \   the ISP gives no concurrency, timing, or interconnection data, §2.1.2)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure           *)
+(* ------------------------------------------------------------------ *)
+
+let stepper build =
+  (* A machine running the re-assembled sieve (it parks in a halt spin, so
+     stepping beyond 5545 cycles is safe). *)
+  let spec =
+    Asim_stackm.Microcode.spec ~program:Asim_stackm.Demos.sieve_reassembled ()
+  in
+  let analysis = Asim.Analysis.analyze spec in
+  let m : Asim.Machine.t = build analysis in
+  Staged.stage (fun () -> m.Asim.Machine.step ())
+
+let fig31_test =
+  let expr = Asim.Parser.parse_expr "mem.3.4,#01,count.1" in
+  Test.make ~name:"fig3.1/concat-eval"
+    (Staged.stage (fun () ->
+         ignore (Asim.Expr.eval ~read:(fun _ -> 0b11010) expr : int)))
+
+let codegen_test name source =
+  let analysis = Asim.load_string source in
+  Test.make ~name (Staged.stage (fun () ->
+      ignore (Asim_codegen.Pascal.generate analysis : string)))
+
+let fig41_test =
+  codegen_test "fig4.1/alu-codegen"
+    "# f\nalu add compute left .\nA alu compute left 3048\nA add 4 left 3048\nA compute 1 0 7\nA left 1 0 1\n.\n"
+
+let fig42_test =
+  codegen_test "fig4.2/selector-codegen"
+    "# f\ns i v0 v1 v2 v3 .\nS s i v0 v1 v2 v3\nA i 1 0 2\nA v0 1 0 1\nA v1 1 0 2\nA v2 1 0 3\nA v3 1 0 4\n.\n"
+
+let fig43_test =
+  codegen_test "fig4.3/memory-codegen"
+    "# f\nm a d o .\nM m a d o -4 12 34 56 78\nA a 1 0 1\nA d 1 0 9\nA o 1 0 13\n.\n"
+
+let fig51_interp_test =
+  Test.make ~name:"fig5.1/asim-interp-step"
+    (stepper (fun a -> Asim.Interp.create ~config:Asim.Machine.quiet_config a))
+
+let fig51_compiled_test =
+  Test.make ~name:"fig5.1/asim2-compiled-step"
+    (stepper (fun a -> Asim.Compile.create ~config:Asim.Machine.quiet_config a))
+
+let ablation_test =
+  Test.make ~name:"ablation/asim2-unoptimized-step"
+    (stepper (fun a ->
+         Asim.Compile.create ~config:Asim.Machine.quiet_config ~optimize:false a))
+
+let isp_level_test =
+  (* Restart the image when it halts so every call executes a real
+     instruction (creation cost amortizes over the ~1000-instruction run). *)
+  let machine = ref (Asim_stackm.Ispsim.create Asim_stackm.Demos.sieve_reassembled) in
+  Test.make ~name:"levels/isp-instruction"
+    (Staged.stage (fun () ->
+         if not (Asim_stackm.Ispsim.step !machine) then
+           machine := Asim_stackm.Ispsim.create Asim_stackm.Demos.sieve_reassembled))
+
+let gate_level_test =
+  let analysis =
+    Asim.Analysis.analyze
+      (Asim_stackm.Microcode.spec ~program:Asim_stackm.Demos.sieve_reassembled ())
+  in
+  let c = Asim_gates.Circuit.of_analysis analysis in
+  Test.make ~name:"levels/gate-cycle"
+    (Staged.stage (fun () -> Asim_gates.Circuit.step c))
+
+let appf_netlist_test =
+  let spec = Asim_tinyc.Machine.spec ~program:Asim_tinyc.Machine.demo_image () in
+  Test.make ~name:"appF/tinyc-netlist"
+    (Staged.stage (fun () -> ignore (Asim_netlist.Synth.synthesize spec : Asim_netlist.Synth.t)))
+
+let run_bechamel () =
+  hr "Bechamel micro-benchmarks (ns per call, OLS on monotonic clock)";
+  let tests =
+    [
+      fig31_test; fig41_test; fig42_test; fig43_test; fig51_interp_test;
+      fig51_compiled_test; ablation_test; isp_level_test; gate_level_test;
+      appf_netlist_test;
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ Instance.monotonic_clock ] (Test.make_grouped ~name:"g" [ test ]) in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> e
+            | _ -> nan
+          in
+          Printf.printf "  %-36s %12.1f ns/run\n" name ns)
+        analyzed)
+    tests
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let quick = Array.exists (fun a -> a = "quick") Sys.argv in
+  figure_3_1 ();
+  figure_4_1 ();
+  figure_4_2 ();
+  figure_4_3 ();
+  figure_5_1 ();
+  figure_ablation ();
+  figure_scaling ();
+  figure_levels ();
+  if not quick then run_bechamel ();
+  print_newline ()

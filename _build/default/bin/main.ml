@@ -1,0 +1,600 @@
+(* asim — the ASIM II reproduction's command-line front end.
+
+   Subcommands: check, run, codegen, pipeline, netlist, gates, profile,
+   coverage, asm, wavediff, fmt, example. *)
+
+open Cmdliner
+
+let load path =
+  try Ok (Asim.load_file path) with
+  | Asim.Error.Error e -> Error (Asim.Error.to_string e)
+  | Sys_error msg -> Error msg
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("asim: " ^ msg);
+      exit 1
+
+let print_warnings (analysis : Asim.Analysis.t) =
+  List.iter
+    (fun w -> prerr_endline (Asim.Error.warning_to_string w))
+    analysis.Asim.Analysis.warnings
+
+(* --- common arguments ---------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC" ~doc:"Specification file.")
+
+let cycles_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "n"; "cycles" ] ~docv:"N"
+        ~doc:"Number of cycles to simulate (default: the spec's = directive).")
+
+let engine_arg =
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Asim.engine_of_string s with
+          | Some e -> Ok e
+          | None -> Error (`Msg ("unknown engine " ^ s))),
+        fun ppf e -> Format.pp_print_string ppf (Asim.engine_to_string e) )
+  in
+  Arg.(
+    value
+    & opt engine_conv Asim.Compiled
+    & info [ "e"; "engine" ] ~docv:"ENGINE"
+        ~doc:"Simulation engine: $(b,interp) (the ASIM baseline) or $(b,compiled) (ASIM II).")
+
+(* --- check ---------------------------------------------------------------- *)
+
+let check_cmd =
+  let run path =
+    let analysis = or_die (load path) in
+    print_warnings analysis;
+    let spec = analysis.Asim.Analysis.spec in
+    Printf.printf "%d components read.\n" (List.length spec.Asim.Spec.components);
+    Printf.printf "combinational order: %s\n"
+      (String.concat " "
+         (List.map
+            (fun (c : Asim.Component.t) -> c.name)
+            analysis.Asim.Analysis.order));
+    let widths = Asim.Width.infer spec in
+    List.iter
+      (fun (c : Asim.Component.t) ->
+        Printf.printf "  %c %-14s %2d bits\n" (Asim.Component.kind_letter c) c.name
+          (try List.assoc c.name widths with Not_found -> 31))
+      spec.Asim.Spec.components;
+    List.iter
+      (fun lint -> print_endline (Asim.Analysis.lint_to_string lint))
+      (Asim.Analysis.lints analysis)
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse, analyze and report on a specification.")
+    Term.(const run $ file_arg)
+
+(* --- run ------------------------------------------------------------------ *)
+
+let fault_conv =
+  (* component=stuck@V[:FROM[-TO]] or component=flip@BIT[:FROM[-TO]] *)
+  let parse s =
+    let fail () =
+      Error
+        (`Msg
+          (Printf.sprintf
+             "bad fault %S (expected comp=stuck@V[:FROM[-TO]] or comp=flip@BIT[:FROM[-TO]])"
+             s))
+    in
+    match String.index_opt s '=' with
+    | None -> fail ()
+    | Some eq -> (
+        let component = String.sub s 0 eq in
+        let rest = String.sub s (eq + 1) (String.length s - eq - 1) in
+        let spec, window =
+          match String.index_opt rest ':' with
+          | None -> (rest, None)
+          | Some c ->
+              ( String.sub rest 0 c,
+                Some (String.sub rest (c + 1) (String.length rest - c - 1)) )
+        in
+        let first_cycle, last_cycle =
+          match window with
+          | None -> (0, None)
+          | Some w -> (
+              match String.index_opt w '-' with
+              | None -> (int_of_string w, None)
+              | Some d ->
+                  ( int_of_string (String.sub w 0 d),
+                    Some (int_of_string (String.sub w (d + 1) (String.length w - d - 1)))
+                  ))
+        in
+        match String.index_opt spec '@' with
+        | None -> fail ()
+        | Some at -> (
+            let kind = String.sub spec 0 at in
+            let value = int_of_string (String.sub spec (at + 1) (String.length spec - at - 1)) in
+            match kind with
+            | "stuck" ->
+                Ok (Asim.Fault.stuck_at ~first_cycle ?last_cycle component value)
+            | "flip" ->
+                Ok (Asim.Fault.flip_bit ~first_cycle ?last_cycle component value)
+            | _ -> fail ()))
+  in
+  let parse s = try parse s with Failure _ -> Error (`Msg ("bad fault " ^ s)) in
+  Arg.conv (parse, fun ppf (f : Asim.Fault.fault) -> Format.pp_print_string ppf f.component)
+
+let run_cmd =
+  let run path engine cycles stats quiet vcd faults interactive =
+    let analysis = or_die (load path) in
+    print_warnings analysis;
+    let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
+    let config = { Asim.Machine.default_config with trace; faults } in
+    let machine = Asim.machine ~config ~engine analysis in
+    let cycles =
+      match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:0
+    in
+    (try
+       match vcd with
+       | Some path -> Asim.Vcd.record_to_file machine ~cycles ~path
+       | None ->
+           if interactive then begin
+             (* The original's dialogue (Appendix A): ask for the cycle
+                count when none is given, then keep offering to continue to
+                an absolute cycle number; 0 quits. *)
+             let read_int () = try Scanf.scanf " %d" (fun d -> d) with _ -> 0 in
+             let target = ref cycles in
+             if !target = 0 then begin
+               print_endline "Number of cycles to trace";
+               target := read_int ()
+             end;
+             let continue = ref true in
+             while !continue && !target > 0 do
+               let done_so_far = machine.Asim.Machine.current_cycle () in
+               if !target > done_so_far then
+                 Asim.Machine.run machine ~cycles:(!target - done_so_far);
+               print_endline "Continue to cycle (0 to quit)";
+               target := read_int ();
+               if !target <= machine.Asim.Machine.current_cycle () then
+                 continue := false
+             done
+           end
+           else Asim.Machine.run machine ~cycles
+     with Asim.Error.Error e ->
+       prerr_endline ("asim: " ^ Asim.Error.to_string e);
+       exit 1);
+    if stats then print_endline (Asim.Stats.to_string machine.Asim.Machine.stats)
+  in
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and memory-access statistics.")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress trace output.") in
+  let vcd_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "vcd" ] ~docv:"FILE" ~doc:"Record traced components to a VCD waveform file.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "fault" ] ~docv:"FAULT"
+          ~doc:
+            "Inject a fault, e.g. $(b,alu=stuck@0:100-200) or $(b,count=flip@3).  Repeatable.")
+  in
+  let interactive_arg =
+    Arg.(
+      value & flag
+      & info [ "i"; "interactive" ]
+          ~doc:
+            "The original's dialogue: prompt for the cycle count and offer to \
+             continue to further cycles.")
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Simulate a specification.")
+    Term.(
+      const run $ file_arg $ engine_arg $ cycles_arg $ stats_arg $ quiet_arg $ vcd_arg
+      $ faults_arg $ interactive_arg)
+
+(* --- codegen --------------------------------------------------------------- *)
+
+let lang_arg =
+  let lang_conv =
+    Arg.conv
+      ( (fun s ->
+          match Asim_codegen.Codegen.lang_of_string s with
+          | Some l -> Ok l
+          | None -> Error (`Msg ("unknown language " ^ s))),
+        fun ppf l ->
+          Format.pp_print_string ppf (Asim_codegen.Codegen.lang_to_string l) )
+  in
+  Arg.(
+    value
+    & opt lang_conv Asim_codegen.Codegen.Pascal
+    & info [ "l"; "lang" ] ~docv:"LANG"
+        ~doc:"Target language: $(b,pascal) (the original's), $(b,ocaml) or $(b,c).")
+
+let codegen_cmd =
+  let run path lang output =
+    let analysis = or_die (load path) in
+    print_warnings analysis;
+    let code = Asim_codegen.Codegen.generate lang analysis in
+    match output with
+    | None -> print_string code
+    | Some path ->
+        let oc = open_out path in
+        output_string oc code;
+        close_out oc
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "codegen"
+       ~doc:"Compile a specification to simulator source code (the ASIM II pipeline).")
+    Term.(const run $ file_arg $ lang_arg $ output_arg)
+
+(* --- pipeline --------------------------------------------------------------- *)
+
+let pipeline_cmd =
+  let run path lang cycles show_output =
+    let analysis = or_die (load path) in
+    let lang =
+      match lang with
+      | Asim_codegen.Codegen.Pascal ->
+          prerr_endline "asim: no Pascal compiler here; using the OCaml backend";
+          Asim_codegen.Codegen.Ocaml
+      | l -> l
+    in
+    match Asim_codegen.Pipeline.run ?cycles ~lang analysis with
+    | Error msg ->
+        prerr_endline ("asim: " ^ msg);
+        exit 1
+    | Ok r ->
+        Printf.printf "Generate code    %8.3f s\n" r.timings.generate_s;
+        Printf.printf "Compile          %8.3f s\n" r.timings.compile_s;
+        Printf.printf "Simulation time  %8.3f s\n" r.timings.run_s;
+        Printf.printf "(source: %s)\n" r.source_path;
+        if show_output then print_string r.output
+  in
+  let show_output_arg =
+    Arg.(value & flag & info [ "show-output" ] ~doc:"Echo the generated simulator's stdout.")
+  in
+  Cmd.v
+    (Cmd.info "pipeline"
+       ~doc:"Generate, compile and execute a simulator binary; report stage timings.")
+    Term.(const run $ file_arg $ lang_arg $ cycles_arg $ show_output_arg)
+
+(* --- netlist ---------------------------------------------------------------- *)
+
+let netlist_cmd =
+  let run path format =
+    let analysis = or_die (load path) in
+    let net = Asim_netlist.Synth.synthesize analysis.Asim.Analysis.spec in
+    let text =
+      match format with
+      | "bom" -> Asim_netlist.Synth.bom_to_string net
+      | "wiring" -> Asim_netlist.Synth.wiring_to_string net
+      | "instances" -> Asim_netlist.Synth.instances_to_string net
+      | "dot" -> Asim_netlist.Synth.to_dot net
+      | other ->
+          prerr_endline ("asim: unknown netlist format " ^ other);
+          exit 1
+    in
+    print_endline text
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt string "bom"
+      & info [ "f"; "format" ] ~docv:"FORMAT"
+          ~doc:"Output: $(b,bom), $(b,instances), $(b,wiring) or $(b,dot).")
+  in
+  Cmd.v
+    (Cmd.info "netlist"
+       ~doc:"Map a specification onto catalog hardware (Appendix F's construction aid).")
+    Term.(const run $ file_arg $ format_arg)
+
+(* --- asm --------------------------------------------------------------------- *)
+
+let asm_cmd =
+  let run path machine output run_it cycles =
+    let read_source () =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let spec =
+      try
+        match machine with
+        | `Stack ->
+            let program = Asim_stackm.Asmtext.assemble (read_source ()) in
+            Asim_stackm.Microcode.spec ?cycles ~program ()
+        | `Tiny ->
+            let program = Asim_tinyc.Asmtext.assemble (read_source ()) in
+            Asim_tinyc.Machine.spec ?cycles
+              ~traced:[ "pc"; "ac"; "borrow" ]
+              ~program ()
+      with
+      | Asim.Error.Error e ->
+          prerr_endline ("asim: " ^ Asim.Error.to_string e);
+          exit 1
+      | Sys_error msg ->
+          prerr_endline ("asim: " ^ msg);
+          exit 1
+    in
+    let source = Asim.Pretty.spec spec in
+    (match output with
+    | Some path ->
+        let oc = open_out path in
+        output_string oc source;
+        close_out oc
+    | None -> if not run_it then print_string source);
+    if run_it then begin
+      let analysis = Asim.Analysis.analyze spec in
+      let io, events = Asim.Io.recording () in
+      let config = { Asim.Machine.quiet_config with io } in
+      let m = Asim.machine ~config analysis in
+      let cycles = match cycles with Some n -> n | None -> 100_000 in
+      (try Asim.Machine.run m ~cycles
+       with Asim.Error.Error e ->
+         prerr_endline ("asim: " ^ Asim.Error.to_string e);
+         exit 1);
+      List.iter
+        (fun ev -> print_endline (Asim.Io.event_to_string ev))
+        (events ())
+    end
+  in
+  let machine_conv =
+    Arg.conv
+      ( (fun s ->
+          match String.lowercase_ascii s with
+          | "stack" | "stackm" -> Ok `Stack
+          | "tiny" | "tinyc" -> Ok `Tiny
+          | other -> Error (`Msg ("unknown machine " ^ other))),
+        fun ppf m ->
+          Format.pp_print_string ppf (match m with `Stack -> "stack" | `Tiny -> "tiny") )
+  in
+  let machine_arg =
+    Arg.(
+      value
+      & opt machine_conv `Stack
+      & info [ "m"; "machine" ] ~docv:"MACHINE"
+          ~doc:"Target machine: $(b,stack) (Appendix D) or $(b,tiny) (Appendix F).")
+  in
+  let output_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write the generated machine specification to FILE.")
+  in
+  let run_arg =
+    Arg.(value & flag & info [ "run" ] ~doc:"Run the program and print its I/O events.")
+  in
+  Cmd.v
+    (Cmd.info "asm"
+       ~doc:
+         "Assemble a program for one of the thesis machines and emit (or run) the \
+          complete machine specification.")
+    Term.(const run $ file_arg $ machine_arg $ output_arg $ run_arg $ cycles_arg)
+
+(* --- profile ----------------------------------------------------------------- *)
+
+let profile_cmd =
+  let run path engine cycles components =
+    let analysis = or_die (load path) in
+    let machine = Asim.machine ~config:Asim.Machine.quiet_config ~engine analysis in
+    let cycles =
+      match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:100
+    in
+    let components =
+      match components with
+      | [] -> Asim.Spec.traced_names analysis.Asim.Analysis.spec
+      | cs -> cs
+    in
+    if components = [] then begin
+      prerr_endline "asim: nothing to profile (no traced components; use -c NAME)";
+      exit 1
+    end;
+    let profiles =
+      try Asim.Profile.run machine ~cycles ~components
+      with Asim.Error.Error e ->
+        prerr_endline ("asim: " ^ Asim.Error.to_string e);
+        exit 1
+    in
+    Printf.printf "%d cycles\n\n" cycles;
+    print_string (Asim.Profile.to_string profiles)
+  in
+  let components_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "c"; "component" ] ~docv:"NAME"
+          ~doc:"Component to sample (repeatable; default: the traced ones).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Sample component values every cycle and report occupancy histograms.")
+    Term.(const run $ file_arg $ engine_arg $ cycles_arg $ components_arg)
+
+(* --- gates ------------------------------------------------------------------ *)
+
+let gates_cmd =
+  let run path check_cycles =
+    let analysis = or_die (load path) in
+    let circuit =
+      try Asim_gates.Circuit.of_analysis analysis
+      with Asim.Error.Error e ->
+        prerr_endline ("asim: " ^ Asim.Error.to_string e);
+        exit 1
+    in
+    print_endline (Asim_gates.Circuit.describe circuit);
+    let s = Asim_gates.Circuit.stats circuit in
+    Printf.printf "\ntotal: %d gates, %d flip-flops, %d behavioral macros\n"
+      s.Asim_gates.Circuit.gate_count s.Asim_gates.Circuit.dff_count
+      s.Asim_gates.Circuit.macro_count;
+    match check_cycles with
+    | None -> ()
+    | Some cycles ->
+        (* run gate level against the RTL engine and compare every component *)
+        let rtl = Asim.machine ~config:Asim.Machine.quiet_config analysis in
+        let names =
+          List.map
+            (fun (c : Asim.Component.t) -> c.name)
+            analysis.Asim.Analysis.spec.Asim.Spec.components
+        in
+        let diverged = ref 0 in
+        for cyc = 1 to cycles do
+          Asim.Machine.run rtl ~cycles:1;
+          Asim_gates.Circuit.step circuit;
+          List.iter
+            (fun name ->
+              let w = max 1 (min 31 (Asim_gates.Circuit.width circuit name)) in
+              let expected = rtl.Asim.Machine.read name land Asim.Bits.ones w in
+              let got = Asim_gates.Circuit.read circuit name in
+              if expected <> got then begin
+                incr diverged;
+                if !diverged <= 5 then
+                  Printf.printf "cycle %d: %s rtl=%d gates=%d\n" cyc name expected got
+              end)
+            names
+        done;
+        if !diverged = 0 then
+          Printf.printf "gate level matches the RTL engine over %d cycles\n" cycles
+        else begin
+          Printf.printf "%d divergences\n" !diverged;
+          exit 1
+        end
+  in
+  let check_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "verify" ] ~docv:"N"
+          ~doc:"Run N cycles at both the gate level and the RTL and compare.")
+  in
+  Cmd.v
+    (Cmd.info "gates"
+       ~doc:"Lower a specification to a boolean network (logic-gate level) and report it.")
+    Term.(const run $ file_arg $ check_arg)
+
+(* --- coverage ---------------------------------------------------------------- *)
+
+let coverage_cmd =
+  let run path engine cycles bits all_values =
+    let analysis = or_die (load path) in
+    let faults = Asim.Coverage.stuck_at_faults ~bits_per_component:bits analysis in
+    let observe = if all_values then Some Asim.Coverage.All_values else None in
+    let engine_fn config a = Asim.machine ~config ~engine a in
+    let report =
+      try Asim.Coverage.run ?observe ?cycles ~engine:engine_fn analysis ~faults
+      with Asim.Error.Error e ->
+        prerr_endline ("asim: " ^ Asim.Error.to_string e);
+        exit 1
+    in
+    print_string (Asim.Coverage.to_string report)
+  in
+  let bits_arg =
+    Arg.(
+      value
+      & opt int 8
+      & info [ "bits" ] ~docv:"N"
+          ~doc:"Inject stuck-at faults on the low N bits of each component (default 8).")
+  in
+  let all_values_arg =
+    Arg.(
+      value & flag
+      & info [ "all-values" ]
+          ~doc:"Observe every component, not just the traced ones and I/O.")
+  in
+  Cmd.v
+    (Cmd.info "coverage"
+       ~doc:
+         "Fault-coverage analysis: inject every single stuck-at fault and report which \
+          ones the workload detects.")
+    Term.(const run $ file_arg $ engine_arg $ cycles_arg $ bits_arg $ all_values_arg)
+
+(* --- wavediff ---------------------------------------------------------------- *)
+
+let wavediff_cmd =
+  let run a b =
+    let read path =
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      s
+    in
+    let parse path =
+      try Asim.Vcd.parse (read path) with
+      | Asim.Error.Error e ->
+          prerr_endline ("asim: " ^ path ^ ": " ^ Asim.Error.to_string e);
+          exit 1
+      | Sys_error msg ->
+          prerr_endline ("asim: " ^ msg);
+          exit 1
+    in
+    match Asim.Vcd.diff (parse a) (parse b) with
+    | [] -> print_endline "waveforms are equivalent"
+    | diffs ->
+        List.iter
+          (fun (signal, times) ->
+            match times with
+            | [ -1 ] -> Printf.printf "%-16s only in one dump\n" signal
+            | times ->
+                Printf.printf "%-16s differs at %d times (first %s)\n" signal
+                  (List.length times)
+                  (String.concat ", "
+                     (List.filteri (fun i _ -> i < 6) (List.map string_of_int times))))
+          diffs;
+        exit 1
+  in
+  let vcd_pos n doc = Arg.(required & pos n (some file) None & info [] ~docv:"VCD" ~doc) in
+  Cmd.v
+    (Cmd.info "wavediff"
+       ~doc:"Compare two VCD waveform dumps (e.g. a healthy and a fault-injected run).")
+    Term.(const run $ vcd_pos 0 "First waveform." $ vcd_pos 1 "Second waveform.")
+
+(* --- fmt -------------------------------------------------------------------- *)
+
+let fmt_cmd =
+  let run path =
+    let analysis = or_die (load path) in
+    print_string (Asim.Pretty.spec analysis.Asim.Analysis.spec)
+  in
+  Cmd.v
+    (Cmd.info "fmt" ~doc:"Echo a specification in canonical form (macros expanded).")
+    Term.(const run $ file_arg)
+
+(* --- example ---------------------------------------------------------------- *)
+
+let example_cmd =
+  let run name =
+    match name with
+    | None ->
+        print_endline "available examples:";
+        List.iter (fun (n, _) -> print_endline ("  " ^ n)) Asim.Specs.all
+    | Some name -> (
+        match List.assoc_opt name Asim.Specs.all with
+        | Some source -> print_string source
+        | None ->
+            prerr_endline ("asim: unknown example " ^ name);
+            exit 1)
+  in
+  let name_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"NAME" ~doc:"Example name.")
+  in
+  Cmd.v
+    (Cmd.info "example" ~doc:"Print a built-in example specification (or list them).")
+    Term.(const run $ name_arg)
+
+let () =
+  let doc = "ASIM II: architecture simulation using a register transfer language" in
+  let info = Cmd.info "asim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info
+    [ check_cmd; run_cmd; codegen_cmd; pipeline_cmd; netlist_cmd; gates_cmd;
+      profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fmt_cmd; example_cmd ]))

@@ -1,0 +1,1 @@
+examples/build_your_own.ml: Analysis Array Asim Asim_gates Asim_netlist Component Expr List Machine Parser Pretty Printf Spec String

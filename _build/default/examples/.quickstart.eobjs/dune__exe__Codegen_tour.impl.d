@@ -1,0 +1,1 @@
+examples/codegen_tour.ml: Asim Asim_codegen List Printf

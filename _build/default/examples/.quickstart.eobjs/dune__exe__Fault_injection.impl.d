@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Asim List Printf

@@ -1,0 +1,1 @@
+examples/gate_level.ml: Asim Asim_gates Asim_stackm List Printf String Unix

@@ -1,0 +1,1 @@
+examples/microprofile.ml: Asim Asim_stackm Asim_tinyc List Printf

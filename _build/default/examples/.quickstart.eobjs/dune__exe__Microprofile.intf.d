@@ -1,0 +1,1 @@
+examples/microprofile.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Asim Buffer List Printf String

@@ -1,0 +1,1 @@
+examples/sieve.ml: Array Asim_stackm List Printf String Unix

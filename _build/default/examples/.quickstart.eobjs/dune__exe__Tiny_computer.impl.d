@@ -1,0 +1,1 @@
+examples/tiny_computer.ml: Asim Asim_netlist Asim_tinyc Buffer Printf

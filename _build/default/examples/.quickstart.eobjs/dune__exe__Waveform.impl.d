@@ -1,0 +1,1 @@
+examples/waveform.ml: Asim Filename List Printf String

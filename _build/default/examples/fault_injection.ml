@@ -1,0 +1,62 @@
+(* Design verification by fault injection (§2.3.2): "the process of
+   inserting a fault in the specification to cause errors (by design) in the
+   simulation run."
+
+   We inject faults into the Gray-code generator and compare traces against
+   the healthy run.
+
+     dune exec examples/fault_injection.exe
+*)
+
+let run_with faults =
+  let analysis = Asim.load_string Asim.Specs.gray_code in
+  let sink, lines = Asim.Trace.list_sink () in
+  let config = { Asim.Machine.quiet_config with trace = sink; faults } in
+  let machine = Asim.machine ~config analysis in
+  Asim.Machine.run machine ~cycles:16;
+  lines ()
+
+let compare_runs label faults =
+  let healthy = run_with Asim.Fault.none in
+  let faulty = run_with faults in
+  let diffs =
+    List.filter (fun (a, b) -> a <> b) (List.combine healthy faulty)
+  in
+  Printf.printf "%s: %d of %d cycles diverge\n" label (List.length diffs)
+    (List.length healthy);
+  List.iteri
+    (fun i (h, f) ->
+      if i < 4 then Printf.printf "    healthy: %s\n    faulty:  %s\n" h f)
+    diffs;
+  print_newline ()
+
+let () =
+  print_endline "healthy reference:";
+  List.iter print_endline (run_with Asim.Fault.none);
+  print_newline ();
+
+  (* A stuck-at fault on the XOR output: every Gray value collapses. *)
+  compare_runs "gray stuck at 0 (all cycles)" [ Asim.Fault.stuck_at "gray" 0 ];
+
+  (* A transient single-bit flip: diverges only inside the window. *)
+  compare_runs "gray bit 2 flipped during cycles 5-8"
+    [ Asim.Fault.flip_bit ~first_cycle:5 ~last_cycle:8 "gray" 2 ];
+
+  (* A fault in the *state* (the counter register) corrupts every later
+     cycle — exactly the catastrophic-propagation case §2.3.2 warns about. *)
+  compare_runs "counter register bit 0 flipped at cycle 5"
+    [ Asim.Fault.flip_bit ~first_cycle:5 ~last_cycle:5 "count" 0 ];
+
+  (* Scale the idea up: inject *every* single stuck-at fault and measure how
+     many this 16-cycle workload detects — fault coverage. *)
+  let analysis = Asim.load_string Asim.Specs.gray_code in
+  let faults = Asim.Coverage.stuck_at_faults ~bits_per_component:6 analysis in
+  let report =
+    Asim.Coverage.run
+      ~engine:(fun config a -> Asim.Compile.create ~config a)
+      analysis ~faults
+  in
+  print_string (Asim.Coverage.to_string report);
+  print_endline
+    "(the undetected faults sit in counter bits the 16-cycle run never reaches\n\
+     \u{2014} the workload, not the design, is what needs extending)"

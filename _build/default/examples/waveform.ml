@@ -1,0 +1,18 @@
+(* Waveform capture: run the divide-by-8 chain and emit a VCD file any
+   standard waveform viewer (GTKWave etc.) can open.
+
+     dune exec examples/waveform.exe
+*)
+
+let () =
+  let analysis = Asim.load_string Asim.Specs.divider in
+  let machine = Asim.machine ~config:Asim.Machine.quiet_config analysis in
+  let vcd = Asim.Vcd.record machine ~cycles:16 in
+  let path = Filename.concat (Filename.get_temp_dir_name ()) "divider.vcd" in
+  let oc = open_out path in
+  output_string oc vcd;
+  close_out oc;
+  Printf.printf "wrote %s (%d bytes); first lines:\n\n" path (String.length vcd);
+  String.split_on_char '\n' vcd
+  |> List.filteri (fun i _ -> i < 30)
+  |> List.iter print_endline

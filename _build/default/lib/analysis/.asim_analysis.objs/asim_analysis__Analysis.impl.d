@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Array Asim_core Bits Component Depgraph Error Expr List Printf Spec String Width

@@ -1,0 +1,1 @@
+lib/analysis/analysis.mli: Asim_core Component Error Spec

@@ -1,0 +1,1 @@
+lib/analysis/depgraph.ml: Asim_core Component Error Expr Hashtbl List Spec

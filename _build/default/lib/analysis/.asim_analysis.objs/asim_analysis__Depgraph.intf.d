@@ -1,0 +1,1 @@
+lib/analysis/depgraph.mli: Asim_core

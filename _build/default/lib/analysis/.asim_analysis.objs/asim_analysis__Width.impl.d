@@ -1,0 +1,1 @@
+lib/analysis/width.ml: Array Asim_core Bits Component Expr List Number Spec

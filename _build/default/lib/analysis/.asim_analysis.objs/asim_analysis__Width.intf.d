@@ -1,0 +1,1 @@
+lib/analysis/width.mli: Asim_core Component Expr Spec

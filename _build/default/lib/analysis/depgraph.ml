@@ -1,0 +1,53 @@
+open Asim_core
+
+let combinational_names spec =
+  List.filter_map
+    (fun (c : Component.t) -> if Component.is_memory c then None else Some c.name)
+    spec.Spec.components
+
+let dependencies spec (c : Component.t) =
+  let comb = combinational_names spec in
+  let inputs = Component.combinational_inputs c in
+  let referenced = List.concat_map Expr.names inputs in
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun name ->
+      if Hashtbl.mem seen name then false
+      else begin
+        Hashtbl.add seen name ();
+        List.mem name comb
+      end)
+    referenced
+
+let order spec =
+  let comb =
+    List.filter (fun c -> not (Component.is_memory c)) spec.Spec.components
+  in
+  let deps = List.map (fun c -> (c, dependencies spec c)) comb in
+  (* Kahn's algorithm, always taking the earliest-declared ready component so
+     the order is deterministic and close to the source. *)
+  let rec go placed_names placed pending =
+    if pending = [] then List.rev placed
+    else
+      let ready, blocked =
+        List.partition
+          (fun (_, ds) -> List.for_all (fun d -> List.mem d placed_names) ds)
+          pending
+      in
+      match ready with
+      | [] ->
+          (* Every remaining component is on or behind a cycle; report the
+             first two for a diagnostic in the paper's style. *)
+          let names = List.map (fun ((c : Component.t), _) -> c.name) blocked in
+          let a = List.nth names 0 in
+          let b = if List.length names > 1 then List.nth names 1 else a in
+          Error.failf ~component:a Error.Analysis
+            "Circular dependency with %s and/or %s." a b
+      | _ ->
+          let newly = List.map (fun ((c : Component.t), _) -> c.name) ready in
+          go
+            (List.rev_append newly placed_names)
+            (List.rev_append (List.map fst ready) placed)
+            blocked
+  in
+  go [] [] deps

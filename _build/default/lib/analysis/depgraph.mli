@@ -1,0 +1,18 @@
+(** Dependency ordering of combinational components.
+
+    ASIM II avoids simulating true parallelism by sorting ALUs and selectors
+    so that every component is evaluated after the components whose outputs
+    it reads (§4.3).  Memories are not sorted: their outputs come from
+    one-cycle-delayed temporaries, so reading a memory imposes no ordering
+    constraint. *)
+
+val order : Asim_core.Spec.t -> Asim_core.Component.t list
+(** Combinational components (ALUs and selectors only) in an evaluation
+    order that respects data dependencies; ties broken by source order, so
+    the result is deterministic.  Raises {!Asim_core.Error.Error} with the
+    paper's "Circular dependency with ... and/or ..." message when the
+    combinational graph is cyclic. *)
+
+val dependencies : Asim_core.Spec.t -> Asim_core.Component.t -> string list
+(** Names of combinational components whose outputs the given component's
+    own combinational evaluation reads.  (Empty for memories.) *)

@@ -1,0 +1,78 @@
+open Asim_core
+
+type env = (string * int) list
+
+let lookup env name =
+  match List.assoc_opt name env with Some w -> w | None -> Bits.word_bits
+
+let cap w = max 1 (min Bits.word_bits w)
+
+let atom_width env atom =
+  match Expr.atom_width atom with
+  | Some w -> max w 0
+  | None -> (
+      match atom with
+      | Expr.Ref { name; _ } -> lookup env name
+      | Expr.Const { number; _ } -> Bits.width_needed (Number.value number)
+      | Expr.Bitstring _ -> assert false)
+
+let expr_width env atoms =
+  cap (List.fold_left (fun acc atom -> acc + atom_width env atom) 0 atoms)
+
+let alu_width env ({ fn; left; right } : Component.alu) =
+  let l = expr_width env left and r = expr_width env right in
+  match Expr.const_value fn with
+  | None ->
+      (* A runtime-selected function can be NOT (mask - left), which fills
+         the whole word regardless of operand widths. *)
+      Bits.word_bits
+  | Some code -> (
+      match Component.alu_function_of_code code with
+      | Component.Fn_zero | Component.Fn_unused -> 1
+      | Component.Fn_right -> r
+      | Component.Fn_left -> l
+      | Component.Fn_not -> Bits.word_bits
+      | Component.Fn_add -> cap (max l r + 1)
+      | Component.Fn_sub -> Bits.word_bits (* may go negative *)
+      | Component.Fn_shift_left -> Bits.word_bits
+      | Component.Fn_mul -> cap (l + r)
+      | Component.Fn_and -> min l r
+      | Component.Fn_or | Component.Fn_xor -> max l r
+      | Component.Fn_eq | Component.Fn_lt -> 1)
+
+let component_width env (c : Component.t) =
+  match c.kind with
+  | Component.Alu alu -> alu_width env alu
+  | Component.Selector { cases; _ } ->
+      Array.fold_left (fun acc case -> max acc (expr_width env case)) 1 cases
+  | Component.Memory { data; init; op; _ } ->
+      (* A memory that can perform input latches values of any width. *)
+      let input_possible =
+        match Expr.const_value op with
+        | Some v -> v land 3 = 2
+        | None -> expr_width env op >= 2
+      in
+      if input_possible then Bits.word_bits
+      else
+      let from_init =
+        match init with
+        | None -> 1
+        | Some values ->
+            Array.fold_left (fun acc v -> max acc (Bits.width_needed (abs v))) 1 values
+      in
+      max (expr_width env data) from_init
+
+let infer (spec : Spec.t) =
+  let components = spec.components in
+  let step env =
+    List.map (fun (c : Component.t) -> (c.name, component_width env c)) components
+  in
+  (* Start from the narrowest estimate and widen until stable; widths are
+     monotone in the environment and bounded by the word size, so at most
+     [word_bits * n] steps are needed (we allow a few more for safety). *)
+  let initial = List.map (fun (c : Component.t) -> (c.name, 1)) components in
+  let rec go env fuel =
+    let env' = step env in
+    if env' = env || fuel = 0 then env' else go env' (fuel - 1)
+  in
+  go initial (Bits.word_bits * List.length components + 8)

@@ -1,0 +1,23 @@
+(** Output-width inference.
+
+    Estimates how many bits each component's output can occupy.  Expression
+    fields give exact widths; filling references take the width of the
+    referenced component, resolved by a monotone fixpoint (bounded by the
+    31-bit word).  ALU widths follow the function's arithmetic (e.g. add =
+    max + 1, compare = 1).  Used by the netlist backend to size flip-flops,
+    adders and multiplexors, and by [asim check] diagnostics. *)
+
+open Asim_core
+
+type env = (string * int) list
+(** Component name → inferred output width in bits. *)
+
+val infer : Spec.t -> env
+(** Fixpoint width inference over the whole spec.  Every declared component
+    gets an entry; unknown constructs default to the full word. *)
+
+val component_width : env -> Component.t -> int
+(** Width of one component's output under the environment. *)
+
+val expr_width : env -> Expr.t -> int
+(** Width of an expression, resolving filling references through [env]. *)

@@ -1,0 +1,1 @@
+lib/asim/asim.mli: Asim_analysis Asim_compile Asim_core Asim_interp Asim_sim Asim_syntax Specs

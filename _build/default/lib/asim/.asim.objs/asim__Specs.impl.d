@@ -1,0 +1,1 @@
+lib/asim/specs.ml: Asim_core Asim_stackm Asim_tinyc

@@ -1,0 +1,1 @@
+lib/asim/specs.mli:

@@ -1,0 +1,60 @@
+module Bits = Asim_core.Bits
+module Number = Asim_core.Number
+module Expr = Asim_core.Expr
+module Component = Asim_core.Component
+module Spec = Asim_core.Spec
+module Pretty = Asim_core.Pretty
+module Error = Asim_core.Error
+module Parser = Asim_syntax.Parser
+module Macro = Asim_syntax.Macro
+module Analysis = Asim_analysis.Analysis
+module Depgraph = Asim_analysis.Depgraph
+module Width = Asim_analysis.Width
+module Io = Asim_sim.Io
+module Trace = Asim_sim.Trace
+module Stats = Asim_sim.Stats
+module Fault = Asim_sim.Fault
+module Profile = Asim_sim.Profile
+module Coverage = Asim_sim.Coverage
+module Machine = Asim_sim.Machine
+module Vcd = Asim_sim.Vcd
+module Interp = Asim_interp.Interp
+module Compile = Asim_compile.Compile
+module Specs = Specs
+
+type engine =
+  | Interpreter
+  | Compiled
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "interp" | "interpreter" | "asim" -> Some Interpreter
+  | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
+  | _ -> None
+
+let engine_to_string = function
+  | Interpreter -> "interpreter"
+  | Compiled -> "compiled"
+
+let load_string source = Analysis.analyze (Parser.parse_string source)
+
+let load_file path = Analysis.analyze (Parser.parse_file path)
+
+let machine ?config ?(engine = Compiled) ?optimize analysis =
+  match engine with
+  | Interpreter -> Interp.create ?config analysis
+  | Compiled -> Compile.create ?config ?optimize analysis
+
+let run_analysis ?config ?engine ?cycles analysis =
+  let m = machine ?config ?engine analysis in
+  let cycles =
+    match cycles with Some n -> n | None -> Machine.spec_cycles m ~default:0
+  in
+  Machine.run m ~cycles;
+  m
+
+let run_string ?config ?engine ?cycles source =
+  run_analysis ?config ?engine ?cycles (load_string source)
+
+let run_file ?config ?engine ?cycles path =
+  run_analysis ?config ?engine ?cycles (load_file path)

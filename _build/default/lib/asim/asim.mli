@@ -1,0 +1,59 @@
+(** Umbrella entry point: load a specification and run it under either
+    engine.  Also re-exports the sub-libraries under short aliases so most
+    users need only [Asim]. *)
+
+module Bits = Asim_core.Bits
+module Number = Asim_core.Number
+module Expr = Asim_core.Expr
+module Component = Asim_core.Component
+module Spec = Asim_core.Spec
+module Pretty = Asim_core.Pretty
+module Error = Asim_core.Error
+module Parser = Asim_syntax.Parser
+module Macro = Asim_syntax.Macro
+module Analysis = Asim_analysis.Analysis
+module Depgraph = Asim_analysis.Depgraph
+module Width = Asim_analysis.Width
+module Io = Asim_sim.Io
+module Trace = Asim_sim.Trace
+module Stats = Asim_sim.Stats
+module Fault = Asim_sim.Fault
+module Profile = Asim_sim.Profile
+module Coverage = Asim_sim.Coverage
+module Machine = Asim_sim.Machine
+module Vcd = Asim_sim.Vcd
+module Interp = Asim_interp.Interp
+module Compile = Asim_compile.Compile
+
+module Specs : module type of Specs
+(** Embedded example specifications. *)
+
+(** Which simulation engine to use.  [Interpreter] is the ASIM baseline;
+    [Compiled] is the ASIM II contribution. *)
+type engine =
+  | Interpreter
+  | Compiled
+
+val engine_of_string : string -> engine option
+(** ["interp"]/["asim"] and ["compiled"]/["asim2"] (case-insensitive). *)
+
+val engine_to_string : engine -> string
+
+val load_string : string -> Analysis.t
+(** Parse and analyze a specification source.  Raises {!Error.Error}. *)
+
+val load_file : string -> Analysis.t
+
+val machine :
+  ?config:Machine.config -> ?engine:engine -> ?optimize:bool -> Analysis.t -> Machine.t
+(** Instantiate a runnable machine.  Defaults: [Compiled] engine, paper
+    optimizations on, {!Machine.default_config}. *)
+
+val run_string :
+  ?config:Machine.config -> ?engine:engine -> ?cycles:int -> string -> Machine.t
+(** Convenience: load, build, and run.  The cycle count is [cycles] if given,
+    else the spec's [= N], else 0 steps.  Returns the machine (stats, cells
+    and outputs are inspectable afterwards). *)
+
+val run_file :
+  ?config:Machine.config -> ?engine:engine -> ?cycles:int -> string -> Machine.t

@@ -1,0 +1,136 @@
+let counter =
+  "# quickstart: an 8-step traced counter\n\
+   = 8\n\
+   count* inc .\n\
+   A inc 4 count 1\n\
+   M count 0 inc 1 1\n\
+   .\n"
+
+let traffic_light =
+  "# traffic light: light 0=green 1=red, timer reloads on expiry\n\
+   = 40\n\
+   light* timer* nextlight nexttimer expired dec reload .\n\
+   A expired 12 timer 0\n\
+   A nextlight 10 light expired\n\
+   A dec 5 timer 1\n\
+   S reload light 5 3\n\
+   S nexttimer expired dec reload\n\
+   M timer 0 nexttimer 1 1\n\
+   M light 0 nextlight 1 1\n\
+   .\n"
+
+let gray_code =
+  "# 4-bit Gray code generator: count XOR (count >> 1)\n\
+   = 16\n\
+   count gray* inc shifted .\n\
+   A inc 4 count 1\n\
+   A shifted 1 0 count.1.4\n\
+   A gray 10 count.0.3 shifted\n\
+   M count 0 inc 1 1\n\
+   .\n"
+
+let divider =
+  "# divide-by-8 chain: three toggle flip-flops\n\
+   = 16\n\
+   d0* d1* d2* n0 n1 n2 c2 .\n\
+   A n0 10 d0 1\n\
+   A n1 10 d1 d0\n\
+   A c2 8 d0 d1\n\
+   A n2 10 d2 c2\n\
+   M d0 0 n0 1 1\n\
+   M d1 0 n1 1 1\n\
+   M d2 0 n2 1 1\n\
+   .\n"
+
+let multiplier =
+  "# shift-and-add multiplier: acc accumulates 11 * 13 = 143 by cycle 5\n\
+   = 16\n\
+   acc* mcand* mplier* one started addout newacc gated shl shr newmcand newmplier .\n\
+   A one 1 0 1\n\
+   A addout 4 acc mcand\n\
+   S newacc mplier.0 acc addout\n\
+   S gated started 0 newacc\n\
+   A shl 6 mcand 1\n\
+   A shr 1 0 mplier.1.16\n\
+   S newmcand started 11 shl\n\
+   S newmplier started 13 shr\n\
+   M started 0 one 1 1\n\
+   M acc 0 gated 1 1\n\
+   M mcand 0 newmcand 1 1\n\
+   M mplier 0 newmplier 1 1\n\
+   .\n"
+
+let seven_segment =
+  "# 7-segment decoder: a pure selector ROM driven by a hex counter\n\
+   = 16\n\
+   digit* segments* inc .\n\
+   A inc 4 digit 1\n\
+   S segments digit.0.3 #0111111 #0000110 #1011011 #1001111 #1100110 #1101101\n\
+   #1111101 #0000111 #1111111 #1101111 #1110111 #1111100 #0111001 #1011110\n\
+   #1111001 #1110001\n\
+   M digit 0 inc 1 1\n\
+   .\n"
+
+let pwm =
+  "# pulse-width modulator: out high while the 4-bit phase is below duty\n\
+   = 32\n\
+   phase out* inc duty .\n\
+   A inc 4 phase 1\n\
+   A duty 1 0 5\n\
+   A out 13 phase.0.3 duty\n\
+   M phase 0 inc 1 1\n\
+   .\n"
+
+let shifter =
+  "# serial transmitter: an 8-bit pattern rotates one bit per cycle\n\
+   = 20\n\
+   reg bit* one started rot next .\n\
+   A one 1 0 1\n\
+   A rot 1 0 reg.0,reg.1.7\n\
+   S next started 172 rot\n\
+   A bit 1 0 reg.0\n\
+   M started 0 one 1 1\n\
+   M reg 0 next 1 1\n\
+   .\n"
+
+let divider_modular =
+  "# modular divider: one T flip-flop module, three instances (s5.4 extension)\n\
+   = 16\n\
+   one d0q* d1q* d2q* .\n\
+   A one 1 0 1\n\
+   B tflip en .\n\
+   A n 10 q en\n\
+   A carry 8 q en\n\
+   M q 0 n 1 1\n\
+   E\n\
+   U d0 tflip one\n\
+   U d1 tflip d0carry\n\
+   U d2 tflip d1carry\n\
+   .\n"
+
+let stack_machine_sieve =
+  Asim_core.Pretty.spec
+    (Asim_stackm.Microcode.spec ~cycles:Asim_stackm.Programs.sieve_cycles
+       ~program:Asim_stackm.Programs.sieve ())
+
+let tiny_computer =
+  Asim_core.Pretty.spec
+    (Asim_tinyc.Machine.spec
+       ~traced:[ "pc"; "ac"; "borrow" ]
+       ~cycles:Asim_tinyc.Machine.demo_cycles
+       ~program:Asim_tinyc.Machine.demo_image ())
+
+let all =
+  [
+    ("counter", counter);
+    ("traffic-light", traffic_light);
+    ("gray-code", gray_code);
+    ("divider", divider);
+    ("divider-modular", divider_modular);
+    ("multiplier", multiplier);
+    ("seven-segment", seven_segment);
+    ("pwm", pwm);
+    ("shifter", shifter);
+    ("stack-machine-sieve", stack_machine_sieve);
+    ("tiny-computer", tiny_computer);
+  ]

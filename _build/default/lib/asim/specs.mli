@@ -1,0 +1,45 @@
+(** Embedded example specifications, usable from the CLI ([asim example])
+    and the documentation. *)
+
+val counter : string
+(** Quickstart: a traced 8-step counter. *)
+
+val traffic_light : string
+(** A two-phase traffic-light controller with a programmable green time —
+    selectors as next-state logic. *)
+
+val gray_code : string
+(** 4-bit Gray-code generator: XOR of a counter with its own shift. *)
+
+val divider : string
+(** Clock divider chain built from three 1-bit registers. *)
+
+val multiplier : string
+(** Shift-and-add multiplier: classic RTL dataflow with a conditional
+    accumulate (selector), a shift-left ALU (function 6) and a shift-right
+    bit-field. Computes 11 × 13 = 143 in its registers. *)
+
+val seven_segment : string
+(** Hex digit → 7-segment pattern: a selector used as a pure lookup ROM. *)
+
+val pwm : string
+(** Pulse-width modulator: output high while the 4-bit phase counter is
+    below the duty threshold (the [<] ALU as a comparator). *)
+
+val shifter : string
+(** Serial transmitter: an 8-bit pattern (0b10101100) loaded on the first
+    cycle, then rotated one bit per cycle; [bit] is the line output. *)
+
+val divider_modular : string
+(** The same divider built by instantiating a T flip-flop module three
+    times — the §5.4 modularity extension ([B]/[E]/[U] forms). *)
+
+val stack_machine_sieve : string
+(** The Appendix D machine with the verbatim Sieve program ROM, rendered to
+    canonical source (large). *)
+
+val tiny_computer : string
+(** The Appendix F machine with the demonstration program. *)
+
+val all : (string * string) list
+(** Name → source, for the CLI. *)

@@ -1,0 +1,1 @@
+lib/codegen/c_gen.ml: Array Asim_analysis Asim_core Bits Component Emitter List Lower Printf Spec String

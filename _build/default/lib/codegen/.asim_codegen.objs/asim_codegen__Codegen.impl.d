@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: C_gen Ocaml_gen Pascal String Verilog

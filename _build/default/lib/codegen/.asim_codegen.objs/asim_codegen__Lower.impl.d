@@ -1,0 +1,1 @@
+lib/codegen/lower.ml: Asim_analysis Asim_core Bits Component Expr List Number Option Spec String

@@ -1,0 +1,1 @@
+lib/codegen/lower.mli: Asim_analysis Asim_core

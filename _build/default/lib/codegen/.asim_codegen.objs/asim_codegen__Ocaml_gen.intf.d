@@ -1,0 +1,1 @@
+lib/codegen/ocaml_gen.mli: Asim_analysis Asim_core

@@ -1,0 +1,1 @@
+lib/codegen/pascal.mli: Asim_analysis Asim_core

@@ -1,0 +1,1 @@
+lib/codegen/pipeline.ml: Asim_analysis Asim_core Codegen Filename Printf Sys Unix

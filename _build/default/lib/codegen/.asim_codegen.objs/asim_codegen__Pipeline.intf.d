@@ -1,0 +1,1 @@
+lib/codegen/pipeline.mli: Asim_analysis Codegen Stdlib

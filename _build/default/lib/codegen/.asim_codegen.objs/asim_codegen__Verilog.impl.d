@@ -1,0 +1,1 @@
+lib/codegen/verilog.ml: Array Asim_analysis Asim_core Bits Component Emitter Expr List Lower Number Printf Spec String

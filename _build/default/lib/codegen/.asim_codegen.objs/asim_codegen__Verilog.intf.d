@@ -1,0 +1,1 @@
+lib/codegen/verilog.mli: Asim_analysis Asim_core

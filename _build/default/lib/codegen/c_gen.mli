@@ -1,0 +1,12 @@
+(** The C backend.
+
+    Generates a standalone C99 program (stdio only) with the same observable
+    behaviour as the in-process engines and the OCaml backend.  Values are
+    [long long] so that intermediate arithmetic (e.g. 31-bit × 31-bit
+    products) matches the OCaml engines' 63-bit integers rather than
+    trapping like the original's 32-bit Pascal. *)
+
+val generate : Asim_analysis.Analysis.t -> string
+
+val expression : ?memories:string list -> Asim_core.Expr.t -> string
+(** Render one expression as C (for listings and tests). *)

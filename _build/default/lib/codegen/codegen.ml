@@ -1,0 +1,28 @@
+type lang =
+  | Pascal
+  | Ocaml
+  | C
+  | Verilog
+
+let lang_of_string s =
+  match String.lowercase_ascii s with
+  | "pascal" | "p" -> Some Pascal
+  | "ocaml" | "ml" -> Some Ocaml
+  | "c" -> Some C
+  | "verilog" | "v" -> Some Verilog
+  | _ -> None
+
+let lang_to_string = function
+  | Pascal -> "pascal"
+  | Ocaml -> "ocaml"
+  | C -> "c"
+  | Verilog -> "verilog"
+
+let extension = function Pascal -> ".p" | Ocaml -> ".ml" | C -> ".c" | Verilog -> ".v"
+
+let generate lang analysis =
+  match lang with
+  | Pascal -> Pascal.generate analysis
+  | Ocaml -> Ocaml_gen.generate analysis
+  | C -> C_gen.generate analysis
+  | Verilog -> Verilog.generate analysis

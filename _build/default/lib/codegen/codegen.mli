@@ -1,0 +1,17 @@
+(** Backend dispatcher. *)
+
+type lang =
+  | Pascal  (** the original's output language (Appendix E shape) *)
+  | Ocaml  (** compilable here; the Figure 5.1 pipeline target *)
+  | C
+  | Verilog  (** the §1.5 hand-off toward silicon tools (export only) *)
+
+val lang_of_string : string -> lang option
+(** ["pascal"], ["ocaml"], ["c"], ["verilog"] (case-insensitive). *)
+
+val lang_to_string : lang -> string
+
+val extension : lang -> string
+(** [".p"], [".ml"], [".c"], [".v"]. *)
+
+val generate : lang -> Asim_analysis.Analysis.t -> string

@@ -1,0 +1,24 @@
+type t = { buf : Buffer.t; mutable indent : int }
+
+let create () = { buf = Buffer.create 4096; indent = 0 }
+
+let line t s =
+  if s = "" then Buffer.add_char t.buf '\n'
+  else begin
+    for _ = 1 to t.indent do
+      Buffer.add_string t.buf "  "
+    done;
+    Buffer.add_string t.buf s;
+    Buffer.add_char t.buf '\n'
+  end
+
+let linef t fmt = Printf.ksprintf (line t) fmt
+
+let blank t = Buffer.add_char t.buf '\n'
+
+let indented t f =
+  t.indent <- t.indent + 1;
+  f ();
+  t.indent <- t.indent - 1
+
+let contents t = Buffer.contents t.buf

@@ -1,0 +1,17 @@
+(** Tiny indentation-aware code emitter shared by the source backends. *)
+
+type t
+
+val create : unit -> t
+
+val line : t -> string -> unit
+(** Emit one line at the current indentation. *)
+
+val linef : t -> ('a, unit, string, unit) format4 -> 'a
+
+val blank : t -> unit
+
+val indented : t -> (unit -> unit) -> unit
+(** Run the callback with indentation one level (two spaces) deeper. *)
+
+val contents : t -> string

@@ -1,0 +1,13 @@
+(** The OCaml backend: the Figure 5.1 "ASIM II" pipeline target.
+
+    Generates a dependency-free standalone [.ml] program (stdlib only) that
+    compiles with [ocamlfind ocamlopt] and reproduces, byte for byte, the
+    trace and I/O behaviour of the in-process engines: same cycle lines, same
+    read/write trace lines, same console I/O conventions.  The cycle count
+    defaults to the spec's [= N] and can be overridden by [argv.(1)]. *)
+
+val generate : Asim_analysis.Analysis.t -> string
+
+val expression : ?memories:string list -> Asim_core.Expr.t -> string
+(** Render one expression as OCaml over the generated program's variables
+    (for the Figure 4.x listings and tests). *)

@@ -1,0 +1,20 @@
+(** The Pascal backend — what ASIM II actually shipped.
+
+    Generates a complete standalone Pascal program in the shape of
+    Appendix E: [ljb]-prefixed value variables, [temp]/[adr]/[opn]
+    temporaries per memory, the set-based [land] function, [initvalues],
+    [dologic], [sinput]/[soutput], and a main loop applying the paper's
+    optimizations (constant ALU functions inlined — Figure 4.1; constant
+    memory operations specialized — Figure 4.3).
+
+    Divergences from the original, recorded in DESIGN.md: the cycle loop runs
+    exactly [cycles] iterations with no interactive continuation prompt, and
+    write/read trace lines require the full [land 5 = 5] / [land 9 = 8]
+    patterns even for constant operations. *)
+
+val generate : Asim_analysis.Analysis.t -> string
+
+val expression : ?memories:string list -> Asim_core.Expr.t -> string
+(** Render one expression as Pascal (for Figure 4.x listings and tests).
+    Names in [memories] read their [temp] registers; every other reference
+    reads its [ljb] value variable, as inside the main loop. *)

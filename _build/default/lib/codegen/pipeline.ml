@@ -1,0 +1,108 @@
+type timings = {
+  generate_s : float;
+  compile_s : float;
+  run_s : float;
+}
+
+type result = {
+  timings : timings;
+  output : string;
+  source_path : string;
+  binary_path : string;
+}
+
+let command_exists cmd =
+  Sys.command (Printf.sprintf "command -v %s > /dev/null 2>&1" (Filename.quote cmd)) = 0
+
+let compile_command lang ~source ~binary =
+  match lang with
+  | Codegen.Ocaml ->
+      Some
+        (Printf.sprintf "ocamlopt %s -o %s > /dev/null 2>&1" (Filename.quote source)
+           (Filename.quote binary))
+  | Codegen.C ->
+      Some
+        (Printf.sprintf "cc -O2 -o %s %s > /dev/null 2>&1" (Filename.quote binary)
+           (Filename.quote source))
+  | Codegen.Pascal | Codegen.Verilog -> None
+
+let compiler_available = function
+  | Codegen.Ocaml -> command_exists "ocamlopt"
+  | Codegen.C -> command_exists "cc"
+  | Codegen.Pascal | Codegen.Verilog -> false
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+let fresh_dir () =
+  let base = Filename.get_temp_dir_name () in
+  let rec try_n n =
+    let dir = Filename.concat base (Printf.sprintf "asim-pipeline-%d-%d" (Unix.getpid ()) n) in
+    if Sys.file_exists dir then try_n (n + 1)
+    else begin
+      Unix.mkdir dir 0o755;
+      dir
+    end
+  in
+  try_n 0
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let run ?dir ?cycles ~lang (analysis : Asim_analysis.Analysis.t) =
+  if not (compiler_available lang) then
+    Error
+      (Printf.sprintf "no compiler available for %s in this environment"
+         (Codegen.lang_to_string lang))
+  else begin
+    let dir = match dir with Some d -> d | None -> fresh_dir () in
+    let source_path = Filename.concat dir ("simulator" ^ Codegen.extension lang) in
+    let binary_path = Filename.concat dir "simulator.exe" in
+    let source, generate_s = timed (fun () -> Codegen.generate lang analysis) in
+    write_file source_path source;
+    match compile_command lang ~source:source_path ~binary:binary_path with
+    | None -> Error "language has no compile command"
+    | Some cmd ->
+        (* ocamlopt drops its artifacts in the cwd; run it from [dir]. *)
+        let in_dir = Printf.sprintf "cd %s && %s" (Filename.quote dir) cmd in
+        let status, compile_s = timed (fun () -> Sys.command in_dir) in
+        if status <> 0 then
+          Error (Printf.sprintf "compilation failed (%s, exit %d)" cmd status)
+        else begin
+          let cycles =
+            match cycles with
+            | Some n -> n
+            | None -> (
+                match analysis.Asim_analysis.Analysis.spec.Asim_core.Spec.cycles with
+                | Some n -> n
+                | None -> 0)
+          in
+          let out_path = Filename.concat dir "stdout.txt" in
+          let run_cmd =
+            Printf.sprintf "%s %d > %s 2>&1 < /dev/null" (Filename.quote binary_path)
+              cycles (Filename.quote out_path)
+          in
+          let status, run_s = timed (fun () -> Sys.command run_cmd) in
+          if status <> 0 then
+            Error (Printf.sprintf "generated simulator failed (exit %d)" status)
+          else
+            Ok
+              {
+                timings = { generate_s; compile_s; run_s };
+                output = read_file out_path;
+                source_path;
+                binary_path;
+              }
+        end
+  end

@@ -1,0 +1,33 @@
+(** The full ASIM II pipeline: generate → compile → execute.
+
+    This is the shape Figure 5.1 times: the paper generated Pascal (34.2 s),
+    compiled it (43.2 s), and ran the binary (15.0 s).  Here the target is
+    the OCaml or C backend, built with the sealed toolchain's
+    [ocamlfind ocamlopt] / [cc]. *)
+
+type timings = {
+  generate_s : float;  (** spec → source text (Fig 5.1 "Generate code") *)
+  compile_s : float;  (** source → native binary (Fig 5.1 "Pascal Compile") *)
+  run_s : float;  (** binary execution (Fig 5.1 "Simulation time") *)
+}
+
+type result = {
+  timings : timings;
+  output : string;  (** the binary's stdout (trace + I/O) *)
+  source_path : string;
+  binary_path : string;
+}
+
+val compiler_available : Codegen.lang -> bool
+(** Can this language's compiler be invoked here?  (Pascal: no.) *)
+
+val run :
+  ?dir:string ->
+  ?cycles:int ->
+  lang:Codegen.lang ->
+  Asim_analysis.Analysis.t ->
+  (result, string) Stdlib.result
+(** Generate the simulator for [lang], compile it in [dir] (default: a fresh
+    directory under the system temp dir), execute it for [cycles] (default:
+    the spec's [= N]) and capture stdout.  Returns [Error reason] when the
+    toolchain is unavailable or a stage fails. *)

@@ -1,0 +1,27 @@
+(** The Verilog export — §1.5's hand-off.
+
+    "After the RTL specification has been designed and rigorously tested,
+    the design may then be converted to a language suitable for a silicon
+    compiler."  In 1986 that meant a proprietary layout language; today it
+    means an HDL the open tool chains accept, so this backend emits
+    synthesizable-style Verilog-2001:
+
+    - every ALU/selector becomes an [always @*] block (selectors as [case]
+      with a default of [x], matching the original's out-of-range runtime
+      error);
+    - every memory becomes a clocked [always @(posedge clk)] block holding
+      both the cell array and the registered output [temp];
+    - ASIM's concatenation expressions map directly onto Verilog
+      concatenation, e.g. [mem.3.4,#01,count.1] → [{mem_q[4:3], 2'b01,
+      count_q[1]}].
+
+    Memory-mapped I/O is exposed as ports ([io_addr], [io_wdata],
+    [io_write], ...) rather than hidden console calls.  The generated text
+    is not simulated here (no Verilog simulator in this environment); it is
+    locked by golden tests and intended for external tools. *)
+
+val generate : Asim_analysis.Analysis.t -> string
+
+val expression : ?memories:string list -> Asim_core.Expr.t -> string
+(** Render one expression as a Verilog concatenation (for tests and
+    documentation). *)

@@ -1,0 +1,1 @@
+lib/compile/compile.ml: Array Asim_analysis Asim_core Asim_sim Bits Component Error Expr Fault Fun Hashtbl Io List Machine Number Spec Stats String Trace

@@ -1,0 +1,1 @@
+lib/compile/compile.mli: Asim_analysis Asim_core Asim_sim

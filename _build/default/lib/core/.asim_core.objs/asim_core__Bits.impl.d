@@ -1,0 +1,1 @@
+lib/core/bits.ml: String

@@ -1,0 +1,1 @@
+lib/core/component.ml: Array Bits Error Expr List

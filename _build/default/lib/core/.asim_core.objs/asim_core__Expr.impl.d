@@ -1,0 +1,1 @@
+lib/core/expr.ml: Bits Error Format List Number String

@@ -1,0 +1,1 @@
+lib/core/number.ml: Bits Char Error Format List Printf String

@@ -1,0 +1,1 @@
+lib/core/pretty.ml: Array Buffer Component Expr Format List Printf Spec String

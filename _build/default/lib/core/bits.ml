@@ -1,0 +1,35 @@
+let word_bits = 31
+
+let mask = (1 lsl word_bits) - 1
+
+let ones w =
+  if w < 0 || w > word_bits then invalid_arg "Bits.ones"
+  else (1 lsl w) - 1
+
+let bit v i = (v lsr i) land 1
+
+let extract v ~lo ~hi =
+  if lo < 0 || hi < lo || hi >= word_bits then invalid_arg "Bits.extract"
+  else (v lsr lo) land ones (hi - lo + 1)
+
+let field_mask ~lo ~hi =
+  if lo < 0 || hi < lo || hi >= word_bits then invalid_arg "Bits.field_mask"
+  else ones (hi - lo + 1) lsl lo
+
+(* Function 6 of the paper's [dologic]: repeated doubling, masking to 31 bits
+   each step, stopping early when the left operand collapses to zero. *)
+let shift_left_masked v n =
+  let rec go v n = if n <= 0 || v = 0 then v else go ((v + v) land mask) (n - 1) in
+  go (v land mask) n
+
+let width_needed v =
+  if v < 0 then word_bits
+  else
+    let rec go acc v = if v = 0 then max acc 1 else go (acc + 1) (v lsr 1) in
+    go 0 v
+
+let is_power_of_two v = v > 0 && v land (v - 1) = 0
+
+let to_binary_string ~width v =
+  if width <= 0 || width > word_bits then invalid_arg "Bits.to_binary_string"
+  else String.init width (fun i -> if bit v (width - 1 - i) = 1 then '1' else '0')

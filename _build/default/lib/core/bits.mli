@@ -1,0 +1,43 @@
+(** 31-bit word utilities.
+
+    ASIM II inherits Pascal's 32-bit signed integers: every bitwise helper in
+    the generated simulators works on the low 31 bits ([maxint] = 2^31 - 1),
+    while plain arithmetic is ordinary signed arithmetic.  We reproduce that
+    model on OCaml's native [int]: [land]-style helpers mask to 31 bits,
+    arithmetic is left unmasked. *)
+
+val word_bits : int
+(** Number of value bits in a simulated word (31). *)
+
+val mask : int
+(** [2^word_bits - 1], the paper's [mask] constant (2147483647). *)
+
+val ones : int -> int
+(** [ones w] is a mask of [w] low bits set.  [ones 0 = 0]; requires
+    [0 <= w <= word_bits]. *)
+
+val bit : int -> int -> int
+(** [bit v i] is bit [i] of [v] (0 = least significant), as 0 or 1. *)
+
+val extract : int -> lo:int -> hi:int -> int
+(** [extract v ~lo ~hi] are bits [lo..hi] of [v] inclusive, shifted down to
+    bit 0.  Requires [0 <= lo <= hi < word_bits]. *)
+
+val field_mask : lo:int -> hi:int -> int
+(** Mask with bits [lo..hi] set (the paper's [highbits] sums). *)
+
+val shift_left_masked : int -> int -> int
+(** [shift_left_masked v n] is ASIM's ALU function 6: [v * 2^n] computed by
+    repeated doubling with 31-bit masking at each step (so bits shifted past
+    bit 30 are lost).  [n <= 0] leaves [v] unchanged; the loop also stops
+    early once the accumulated value is 0, exactly as the generated Pascal. *)
+
+val width_needed : int -> int
+(** [width_needed v] is the number of bits needed to represent non-negative
+    [v] ([width_needed 0 = 1]); used by the netlist width inference. *)
+
+val is_power_of_two : int -> bool
+(** True for 1, 2, 4, ... *)
+
+val to_binary_string : width:int -> int -> string
+(** Zero-padded binary rendering of the low [width] bits. *)

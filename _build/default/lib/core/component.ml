@@ -1,0 +1,139 @@
+type alu_function =
+  | Fn_zero
+  | Fn_right
+  | Fn_left
+  | Fn_not
+  | Fn_add
+  | Fn_sub
+  | Fn_shift_left
+  | Fn_mul
+  | Fn_and
+  | Fn_or
+  | Fn_xor
+  | Fn_unused
+  | Fn_eq
+  | Fn_lt
+
+let alu_function_of_code code =
+  match code land 15 with
+  | 0 -> Fn_zero
+  | 1 -> Fn_right
+  | 2 -> Fn_left
+  | 3 -> Fn_not
+  | 4 -> Fn_add
+  | 5 -> Fn_sub
+  | 6 -> Fn_shift_left
+  | 7 -> Fn_mul
+  | 8 -> Fn_and
+  | 9 -> Fn_or
+  | 10 -> Fn_xor
+  | 12 -> Fn_eq
+  | 13 -> Fn_lt
+  | 11 | 14 | 15 -> Fn_unused
+  | _ -> assert false
+
+let alu_function_code = function
+  | Fn_zero -> 0
+  | Fn_right -> 1
+  | Fn_left -> 2
+  | Fn_not -> 3
+  | Fn_add -> 4
+  | Fn_sub -> 5
+  | Fn_shift_left -> 6
+  | Fn_mul -> 7
+  | Fn_and -> 8
+  | Fn_or -> 9
+  | Fn_xor -> 10
+  | Fn_unused -> 11
+  | Fn_eq -> 12
+  | Fn_lt -> 13
+
+let apply_alu fn ~left ~right =
+  match fn with
+  | Fn_zero | Fn_unused -> 0
+  | Fn_right -> right
+  | Fn_left -> left
+  | Fn_not -> Bits.mask - left
+  | Fn_add -> left + right
+  | Fn_sub -> left - right
+  | Fn_shift_left -> Bits.shift_left_masked left right
+  | Fn_mul -> left * right
+  | Fn_and -> left land right
+  | Fn_or -> left + right - (left land right)
+  | Fn_xor -> left + right - (2 * (left land right))
+  | Fn_eq -> if left = right then 1 else 0
+  | Fn_lt -> if left < right then 1 else 0
+
+let apply_alu_code code ~left ~right =
+  apply_alu (alu_function_of_code code) ~left ~right
+
+type memory_op =
+  | Op_read
+  | Op_write
+  | Op_input
+  | Op_output
+
+let memory_op_of_code code =
+  match code land 3 with
+  | 0 -> Op_read
+  | 1 -> Op_write
+  | 2 -> Op_input
+  | 3 -> Op_output
+  | _ -> assert false
+
+let traces_writes op = op land 5 = 5
+
+let traces_reads op = op land 9 = 8
+
+type alu = { fn : Expr.t; left : Expr.t; right : Expr.t }
+
+type selector = { select : Expr.t; cases : Expr.t array }
+
+type memory = {
+  addr : Expr.t;
+  data : Expr.t;
+  op : Expr.t;
+  cells : int;
+  init : int array option;
+}
+
+type kind =
+  | Alu of alu
+  | Selector of selector
+  | Memory of memory
+
+type t = { name : string; kind : kind }
+
+let kind_letter { kind; _ } =
+  match kind with Alu _ -> 'A' | Selector _ -> 'S' | Memory _ -> 'M'
+
+let inputs { kind; _ } =
+  match kind with
+  | Alu { fn; left; right } -> [ fn; left; right ]
+  | Selector { select; cases } -> select :: Array.to_list cases
+  | Memory { addr; data; op; _ } -> [ addr; data; op ]
+
+let combinational_inputs t =
+  match t.kind with Alu _ | Selector _ -> inputs t | Memory _ -> []
+
+let is_memory t = match t.kind with Memory _ -> true | Alu _ | Selector _ -> false
+
+let validate t =
+  let check_width e = ignore (Expr.width e : int) in
+  List.iter check_width (inputs t);
+  match t.kind with
+  | Alu _ -> ()
+  | Selector { cases; _ } ->
+      if Array.length cases = 0 then
+        Error.failf ~component:t.name Error.Analysis "selector has no cases"
+  | Memory { cells; init; _ } -> (
+      if cells < 1 then
+        Error.failf ~component:t.name Error.Analysis
+          "memory must have at least one cell (got %d)" cells;
+      match init with
+      | None -> ()
+      | Some values ->
+          if Array.length values <> cells then
+            Error.failf ~component:t.name Error.Analysis
+              "memory declares %d cells but initializes %d" cells
+              (Array.length values))

@@ -1,0 +1,94 @@
+(** The three ASIM II primitives.
+
+    Every piece of hardware is described by ALUs (combinational function
+    units), Selectors (multiplexors) and Memories (registers, RAM, ROM,
+    memory-mapped I/O).  Each component's [name] carries its output value for
+    use as input to other components (§3.2). *)
+
+(** ALU functions (Appendix A).  [Fn_unused] (code 11) evaluates to 0. *)
+type alu_function =
+  | Fn_zero  (** 0 *)
+  | Fn_right  (** 1: pass right operand *)
+  | Fn_left  (** 2: pass left operand *)
+  | Fn_not  (** 3: NOT(left) = mask - left *)
+  | Fn_add  (** 4 *)
+  | Fn_sub  (** 5 *)
+  | Fn_shift_left  (** 6: left * 2^right, 31-bit masked *)
+  | Fn_mul  (** 7 *)
+  | Fn_and  (** 8 *)
+  | Fn_or  (** 9 *)
+  | Fn_xor  (** 10 *)
+  | Fn_unused  (** 11 *)
+  | Fn_eq  (** 12: 1 if left = right else 0 *)
+  | Fn_lt  (** 13: 1 if left < right else 0 *)
+
+val alu_function_of_code : int -> alu_function
+(** Decode [code land 15]; codes 14 and 15 behave like the generated Pascal's
+    [case] fall-through (no arm matches): the result is 0, modeled as
+    {!Fn_unused}. *)
+
+val alu_function_code : alu_function -> int
+
+val apply_alu : alu_function -> left:int -> right:int -> int
+(** The paper's [dologic], given a decoded function. *)
+
+val apply_alu_code : int -> left:int -> right:int -> int
+(** The paper's [dologic] on a raw function value. *)
+
+(** Memory operations.  The low two bits of a memory's operation value select
+    the action; bit 2 ([land 5 = 5]) additionally traces writes and bit 3
+    ([land 9 = 8]) traces reads. *)
+type memory_op =
+  | Op_read  (** 0 *)
+  | Op_write  (** 1 *)
+  | Op_input  (** 2: take data from the input stream *)
+  | Op_output  (** 3: send data to the output stream *)
+
+val memory_op_of_code : int -> memory_op
+(** Decode [code land 3]. *)
+
+val traces_writes : int -> bool
+(** [op land 5 = 5]. *)
+
+val traces_reads : int -> bool
+(** [op land 9 = 8]. *)
+
+type alu = { fn : Expr.t; left : Expr.t; right : Expr.t }
+
+type selector = { select : Expr.t; cases : Expr.t array }
+
+type memory = {
+  addr : Expr.t;
+  data : Expr.t;
+  op : Expr.t;
+  cells : int;  (** number of cells, >= 1 *)
+  init : int array option;
+      (** Some when the source gave a negative cell count with an initializer
+          list; length = [cells] *)
+}
+
+type kind =
+  | Alu of alu
+  | Selector of selector
+  | Memory of memory
+
+type t = { name : string; kind : kind }
+
+val kind_letter : t -> char
+(** ['A'], ['S'] or ['M']. *)
+
+val inputs : t -> Expr.t list
+(** Every expression the component evaluates (for dependency analysis).  For
+    a memory this is address, data and operation. *)
+
+val combinational_inputs : t -> Expr.t list
+(** Expressions contributing to the component's *combinational* output this
+    cycle: everything for ALUs and selectors, nothing for memories (their
+    output is the registered value from the previous cycle). *)
+
+val is_memory : t -> bool
+
+val validate : t -> unit
+(** Structural checks: expression widths, selector has at least one case,
+    memory cell count >= 1, initializer length matches.  Raises
+    {!Error.Error}. *)

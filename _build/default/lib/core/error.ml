@@ -1,0 +1,59 @@
+type position = { line : int; column : int }
+
+type phase =
+  | Lexing
+  | Parsing
+  | Analysis
+  | Runtime
+
+type t = {
+  phase : phase;
+  message : string;
+  position : position option;
+  component : string option;
+}
+
+exception Error of t
+
+let fail ?position ?component phase message =
+  raise (Error { phase; message; position; component })
+
+let failf ?position ?component phase fmt =
+  Format.kasprintf (fun message -> fail ?position ?component phase message) fmt
+
+let phase_to_string = function
+  | Lexing -> "lex error"
+  | Parsing -> "parse error"
+  | Analysis -> "analysis error"
+  | Runtime -> "runtime error"
+
+let to_string { phase; message; position; component } =
+  let pos =
+    match position with
+    | None -> ""
+    | Some { line; column } -> Printf.sprintf " at line %d, column %d" line column
+  in
+  let comp =
+    match component with
+    | None -> ""
+    | Some name -> Printf.sprintf " (component <%s>)" name
+  in
+  Printf.sprintf "%s%s%s: %s" (phase_to_string phase) pos comp message
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+type warning =
+  | Declared_not_defined of string
+  | Defined_not_declared of string
+  | Memory_update_order of { reader : string; written_before : string }
+
+let warning_to_string = function
+  | Declared_not_defined name ->
+      Printf.sprintf "Warning: %s declared but not defined." name
+  | Defined_not_declared name ->
+      Printf.sprintf "Warning: %s defined but not declared." name
+  | Memory_update_order { reader; written_before } ->
+      Printf.sprintf
+        "Warning: memory %s reads memory %s in its data expression; %s is \
+         updated earlier in declaration order, so %s observes the new value."
+        reader written_before written_before reader

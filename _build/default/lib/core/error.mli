@@ -1,0 +1,47 @@
+(** Errors and warnings shared by every ASIM subsystem. *)
+
+type position = { line : int; column : int }
+
+type phase =
+  | Lexing
+  | Parsing
+  | Analysis
+  | Runtime
+
+type t = {
+  phase : phase;
+  message : string;
+  position : position option;
+  component : string option;  (** component being processed, if known *)
+}
+
+exception Error of t
+
+val fail : ?position:position -> ?component:string -> phase -> string -> 'a
+(** Raise {!Error}. *)
+
+val failf :
+  ?position:position ->
+  ?component:string ->
+  phase ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
+(** Formatted variant of {!fail}. *)
+
+val to_string : t -> string
+(** Human-readable one-line rendering, e.g.
+    ["parse error at line 3, column 7 (component <alu>): ..."]. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** Non-fatal diagnostics (the paper prints these as [Warning:] lines and
+    continues code generation). *)
+type warning =
+  | Declared_not_defined of string
+  | Defined_not_declared of string
+  | Memory_update_order of { reader : string; written_before : string }
+      (** [reader]'s data expression reads memory [written_before], which is
+          updated earlier in declaration order, so it observes the *new*
+          value — ASIM II's declaration-order hazard. *)
+
+val warning_to_string : warning -> string

@@ -1,0 +1,138 @@
+type atom =
+  | Const of { number : Number.t; width : Number.t option }
+  | Bitstring of string
+  | Ref of { name : string; field : field }
+
+and field =
+  | Whole
+  | Bit of Number.t
+  | Range of Number.t * Number.t
+
+type t = atom list
+
+let field_bounds name = function
+  | Whole -> None
+  | Bit f ->
+      let f = Number.value f in
+      if f < 0 || f >= Bits.word_bits then
+        Error.failf ~component:name Error.Analysis "bit index %d out of range" f
+      else Some (f, f)
+  | Range (f, t) ->
+      let lo = Number.value f and hi = Number.value t in
+      if lo < 0 || hi < lo || hi >= Bits.word_bits then
+        Error.failf ~component:name Error.Analysis "bit range %d..%d invalid" lo hi
+      else Some (lo, hi)
+
+let atom_width = function
+  | Const { width = None; _ } -> None
+  | Const { width = Some w; _ } ->
+      let w = Number.value w in
+      if w < 0 || w > Bits.word_bits then
+        Error.failf Error.Analysis "constant width %d out of range" w
+      else Some w
+  | Bitstring s -> Some (String.length s)
+  | Ref { name; field } -> (
+      match field_bounds name field with
+      | None -> None
+      | Some (lo, hi) -> Some (hi - lo + 1))
+
+let atom_to_string = function
+  | Const { number; width = None } -> Number.to_string number
+  | Const { number; width = Some w } ->
+      Number.to_string number ^ "." ^ Number.to_string w
+  | Bitstring s -> "#" ^ s
+  | Ref { name; field = Whole } -> name
+  | Ref { name; field = Bit f } -> name ^ "." ^ Number.to_string f
+  | Ref { name; field = Range (f, t) } ->
+      name ^ "." ^ Number.to_string f ^ "." ^ Number.to_string t
+
+let to_string atoms = String.concat "," (List.map atom_to_string atoms)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+(* Widths accumulate from the rightmost (least significant) atom, as in the
+   paper's [expr] procedure.  A filling atom (plain ref, un-suffixed number)
+   occupies whatever remains of the word, so it is only legal leftmost. *)
+let width atoms =
+  let too_many () = Error.failf Error.Analysis "Too many bits in %s." (to_string atoms) in
+  let rec go numbits = function
+    | [] -> numbits
+    | atom :: to_the_left -> (
+        match atom_width atom with
+        | Some w ->
+            let numbits = numbits + w in
+            if numbits > Bits.word_bits then too_many () else go numbits to_the_left
+        | None ->
+            if to_the_left <> [] then
+              Error.failf Error.Analysis
+                "filling atom %s must be leftmost in %s" (atom_to_string atom)
+                (to_string atoms)
+            else Bits.word_bits)
+  in
+  go 0 (List.rev atoms)
+
+let names atoms =
+  let add seen name = if List.mem name seen then seen else name :: seen in
+  List.rev
+    (List.fold_left
+       (fun seen -> function
+         | Const _ | Bitstring _ -> seen
+         | Ref { name; _ } -> add seen name)
+       [] atoms)
+
+let is_numeric atoms =
+  List.for_all (function Const _ | Bitstring _ -> true | Ref _ -> false) atoms
+
+let bitstring_value s =
+  String.fold_left (fun acc c -> (acc * 2) + if c = '1' then 1 else 0) 0 s
+
+(* Contribution of one atom placed so that its least-significant bit lands at
+   bit position [numbits] of the result; returns (value, new numbits). *)
+let atom_contribution ~read numbits = function
+  | Const { number; width } ->
+      let v = Number.value number in
+      (match width with
+      | None -> (v lsl numbits, Bits.word_bits)
+      | Some w ->
+          let w = Number.value w in
+          ((v land Bits.ones w) lsl numbits, numbits + w))
+  | Bitstring s -> (bitstring_value s lsl numbits, numbits + String.length s)
+  | Ref { name; field } -> (
+      let v = read name in
+      match field_bounds name field with
+      | None -> (v lsl numbits, Bits.word_bits)
+      | Some (lo, hi) ->
+          let masked = v land Bits.field_mask ~lo ~hi in
+          let shifted =
+            if numbits >= lo then masked lsl (numbits - lo)
+            else masked lsr (lo - numbits)
+          in
+          (shifted, numbits + (hi - lo + 1)))
+
+let eval ~read atoms =
+  let rec go acc numbits = function
+    | [] -> acc
+    | atom :: rest ->
+        let v, numbits = atom_contribution ~read numbits atom in
+        go (acc + v) numbits rest
+  in
+  go 0 0 (List.rev atoms)
+
+let const_value atoms =
+  if is_numeric atoms then Some (eval ~read:(fun _ -> 0) atoms) else None
+
+let num v = Const { number = [ Number.Decimal v ]; width = None }
+
+let num_w v ~width = Const { number = [ Number.Decimal v ]; width = Some [ Number.Decimal width ] }
+
+let bits s =
+  String.iter (fun c -> if c <> '0' && c <> '1' then invalid_arg "Expr.bits") s;
+  Bitstring s
+
+let ref_ name = Ref { name; field = Whole }
+
+let ref_bit name f = Ref { name; field = Bit [ Number.Decimal f ] }
+
+let ref_range name f t = Ref { name; field = Range ([ Number.Decimal f ], [ Number.Decimal t ]) }
+
+let of_atoms atoms = atoms

@@ -1,0 +1,75 @@
+(** ASIM II expressions: comma-separated concatenations of bit fields.
+
+    An expression like [mem.3.4,#01,count.1] (Figure 3.1) concatenates, from
+    most significant to least significant: bits 3..4 of [mem], the literal
+    bits [01], and bit 1 of [count].  Bit positions are zero-based from the
+    least-significant end; a field [name.f.t] selects bits [f..t] inclusive.
+
+    Width accounting follows the paper's [expr] procedure: atoms are laid out
+    from the right; a number with a [.w] suffix occupies [w] bits (its low [w]
+    bits are kept); a [#bits] literal occupies one bit per digit; a plain
+    [name] or un-suffixed number fills the remaining word (31 bits) and must
+    therefore be the leftmost atom.  A total width beyond 31 bits is the
+    paper's "Too many bits" error. *)
+
+type atom =
+  | Const of { number : Number.t; width : Number.t option }
+      (** numeric literal, optionally truncated to [width] low bits *)
+  | Bitstring of string  (** [#]-literal; the string holds only ['0']/['1'] *)
+  | Ref of { name : string; field : field }
+
+and field =
+  | Whole  (** [name] — the full 31-bit value *)
+  | Bit of Number.t  (** [name.f] — single bit [f] *)
+  | Range of Number.t * Number.t  (** [name.f.t] — bits [f..t], [f <= t] *)
+
+type t = atom list
+(** Leftmost atom is most significant.  Always non-empty for parsed input. *)
+
+val atom_width : atom -> int option
+(** Width in bits, or [None] for filling atoms (plain refs, un-suffixed
+    numbers). Raises {!Error.Error} on an invalid field (e.g. [f > t]). *)
+
+val width : t -> int
+(** Total width using the paper's accounting (filling atoms count as the
+    full 31 bits).  Raises {!Error.Error} ([Analysis]) when the result
+    exceeds 31 or a filling atom is not leftmost. *)
+
+val names : t -> string list
+(** Component names referenced, in order of first occurrence, no duplicates. *)
+
+val is_numeric : t -> bool
+(** True when the expression contains no {!Ref} atom, i.e. it is a constant.
+    (The paper's [numeric] test, used to drive code optimization.) *)
+
+val const_value : t -> int option
+(** The value of a numeric expression; [None] if any atom is a reference. *)
+
+val eval : read:(string -> int) -> t -> int
+(** Evaluate with [read] supplying current component outputs.  Bit extraction
+    uses two's-complement semantics on negative values, as Pascal's set-based
+    [land] did. *)
+
+val to_string : t -> string
+(** Render to source syntax. *)
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Convenience constructors} (used by machine builders and tests) *)
+
+val num : int -> atom
+(** Decimal constant, filling. *)
+
+val num_w : int -> width:int -> atom
+(** Decimal constant occupying exactly [width] bits. *)
+
+val bits : string -> atom
+(** [#]-literal from a ['0']/['1'] string. *)
+
+val ref_ : string -> atom
+
+val ref_bit : string -> int -> atom
+
+val ref_range : string -> int -> int -> atom
+
+val of_atoms : atom list -> t

@@ -1,0 +1,77 @@
+type term =
+  | Decimal of int
+  | Binary of int * int
+  | Hex of int
+  | Pow2 of int
+
+type t = term list
+
+let term_value = function
+  | Decimal v | Hex v -> v
+  | Binary (v, _) -> v
+  | Pow2 e -> 1 lsl e
+
+let value terms = List.fold_left (fun acc term -> acc + term_value term) 0 terms
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_hex_digit c = is_digit c || (c >= 'A' && c <= 'F')
+
+let is_number_start c = is_digit c || c = '$' || c = '%' || c = '^'
+
+let malformed s = Error.failf Error.Parsing "Malformed number %s." s
+
+(* One term starting at [i]; returns the term and the index past it. *)
+let parse_term s i =
+  let len = String.length s in
+  let digits ~accept ~base ~digit i0 =
+    let rec go acc i =
+      if i < len && accept s.[i] then go ((acc * base) + digit s.[i]) (i + 1)
+      else (acc, i)
+    in
+    let v, j = go 0 i0 in
+    if j = i0 then malformed s else (v, j)
+  in
+  let dec_digit c = Char.code c - Char.code '0' in
+  let hex_digit c = if is_digit c then dec_digit c else Char.code c - Char.code 'A' + 10 in
+  match s.[i] with
+  | '%' ->
+      let v, j = digits ~accept:(fun c -> c = '0' || c = '1') ~base:2 ~digit:dec_digit (i + 1) in
+      (Binary (v, j - i - 1), j)
+  | '$' ->
+      let v, j = digits ~accept:is_hex_digit ~base:16 ~digit:hex_digit (i + 1) in
+      (Hex v, j)
+  | '^' ->
+      let e, j = digits ~accept:is_digit ~base:10 ~digit:dec_digit (i + 1) in
+      if e < 0 || e > Bits.word_bits then malformed s else (Pow2 e, j)
+  | c when is_digit c ->
+      let v, j = digits ~accept:is_digit ~base:10 ~digit:dec_digit i in
+      (Decimal v, j)
+  | _ -> malformed s
+
+let parse s =
+  let len = String.length s in
+  if len = 0 then malformed s
+  else
+    let rec go acc i =
+      let term, j = parse_term s i in
+      let acc = term :: acc in
+      if j = len then List.rev acc
+      else if s.[j] = '+' && j + 1 < len then go acc (j + 1)
+      else malformed s
+    in
+    go [] 0
+
+let parse_value s = value (parse s)
+
+let term_to_string = function
+  | Decimal v -> string_of_int v
+  | Hex v -> Printf.sprintf "$%X" v
+  | Binary (v, n) ->
+      let width = max (Bits.width_needed v) (max 1 (min n Bits.word_bits)) in
+      "%" ^ Bits.to_binary_string ~width v
+  | Pow2 e -> Printf.sprintf "^%d" e
+
+let to_string terms = String.concat "+" (List.map term_to_string terms)
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

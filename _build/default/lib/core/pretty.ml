@@ -1,0 +1,34 @@
+let component (c : Component.t) =
+  let e = Expr.to_string in
+  match c.kind with
+  | Alu { fn; left; right } ->
+      Printf.sprintf "A %s %s %s %s" c.name (e fn) (e left) (e right)
+  | Selector { select; cases } ->
+      let cases = Array.to_list (Array.map e cases) in
+      Printf.sprintf "S %s %s %s" c.name (e select) (String.concat " " cases)
+  | Memory { addr; data; op; cells; init } -> (
+      match init with
+      | None -> Printf.sprintf "M %s %s %s %s %d" c.name (e addr) (e data) (e op) cells
+      | Some values ->
+          let values = Array.to_list (Array.map string_of_int values) in
+          Printf.sprintf "M %s %s %s %s -%d %s" c.name (e addr) (e data) (e op)
+            cells
+            (String.concat " " values))
+
+let spec (s : Spec.t) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("#" ^ s.comment ^ "\n");
+  (match s.cycles with
+  | None -> ()
+  | Some n -> Buffer.add_string buf (Printf.sprintf "= %d\n" n));
+  let decl (d : Spec.decl) = if d.traced then d.name ^ "*" else d.name in
+  Buffer.add_string buf (String.concat " " (List.map decl s.decls) ^ " .\n");
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (component c);
+      Buffer.add_char buf '\n')
+    s.components;
+  Buffer.add_string buf ".\n";
+  Buffer.contents buf
+
+let pp_spec ppf s = Format.pp_print_string ppf (spec s)

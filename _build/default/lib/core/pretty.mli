@@ -1,0 +1,14 @@
+(** Canonical source rendering of a specification.
+
+    [Pretty.spec] emits text that the parser reads back to an equal spec
+    (macros are already expanded, comments dropped); this is the [asim fmt]
+    output and the basis of parse/print round-trip property tests. *)
+
+val component : Component.t -> string
+(** One component definition line, e.g. ["A add 4 left 3048"]. *)
+
+val spec : Spec.t -> string
+(** The complete file: comment line, [= cycles] if present, declaration list
+    terminated by [.], component definitions, final [.]. *)
+
+val pp_spec : Format.formatter -> Spec.t -> unit

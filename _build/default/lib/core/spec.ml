@@ -1,0 +1,51 @@
+type decl = { name : string; traced : bool }
+
+type t = {
+  comment : string;
+  cycles : int option;
+  decls : decl list;
+  components : Component.t list;
+}
+
+let find t name =
+  List.find_opt (fun (c : Component.t) -> String.equal c.name name) t.components
+
+let find_exn t name =
+  match find t name with
+  | Some c -> c
+  | None -> Error.failf Error.Analysis "Component <%s> not found." name
+
+let traced_names t =
+  List.filter_map (fun d -> if d.traced then Some d.name else None) t.decls
+
+let is_letter c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let is_valid_name s =
+  String.length s > 0
+  && is_letter s.[0]
+  && String.for_all (fun c -> is_letter c || is_digit c) s
+
+let validate t =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun (c : Component.t) ->
+      if not (is_valid_name c.name) then
+        Error.failf ~component:c.name Error.Analysis
+          "Component name %s invalid, use letters and numbers only." c.name;
+      if Hashtbl.mem seen c.name then
+        Error.failf ~component:c.name Error.Analysis
+          "component %s defined more than once" c.name;
+      Hashtbl.add seen c.name ();
+      Component.validate c)
+    t.components
+
+let make ?(comment = "generated specification") ?cycles ?decls components =
+  let decls =
+    match decls with
+    | Some decls -> decls
+    | None ->
+        List.map (fun (c : Component.t) -> { name = c.name; traced = false }) components
+  in
+  { comment; cycles; decls; components }

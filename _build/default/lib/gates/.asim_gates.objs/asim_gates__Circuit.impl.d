@@ -1,0 +1,1 @@
+lib/gates/circuit.ml: Array Asim_analysis Asim_core Asim_sim Bits Component Error Expr Hashtbl List Number Option Printf String

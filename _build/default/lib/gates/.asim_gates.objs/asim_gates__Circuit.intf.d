@@ -1,0 +1,1 @@
+lib/gates/circuit.mli: Asim_analysis Asim_sim

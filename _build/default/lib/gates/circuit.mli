@@ -1,0 +1,53 @@
+(** Gate-level simulation — the logic-gate level of §2.2.2.
+
+    A specification is lowered to a boolean network: every combinational
+    component becomes AND/OR/XOR/NOT gates over single-bit nets (ripple-carry
+    adders and subtractors, XNOR-tree comparators, per-bit multiplexor
+    trees), and every simple register becomes a bank of enabled D
+    flip-flops.  Signal widths come from [Asim_analysis.Width].
+
+    Following the thesis's own stance that a structural description "can
+    describe hardware at the logic gate level, but generally only does so
+    when necessary" (§2.2.3.1), constructs without a natural small gate
+    realization stay behavioral {e macros}: multi-cell memories (RAM/ROM,
+    including memory-mapped I/O), memories with multi-bit operation fields,
+    ALUs with a computed function, multiplies and shifts.  The result is a
+    mixed-level structural simulator, one abstraction step {e below} the RTL
+    engines.
+
+    Gate-level semantics are fixed-width and unsigned: a component's value
+    is its net vector read as an unsigned integer, i.e. the RTL value masked
+    to the inferred width.  Comparisons ([<]) are unsigned; designs relying
+    on negative intermediate values belong to the macro fallbacks or the RTL
+    level.  The test suite checks gate-level against RTL cycle-by-cycle on
+    width-masked values. *)
+
+type t
+
+type stats = {
+  gate_count : int;  (** two-input gates + inverters *)
+  dff_count : int;  (** single-bit D flip-flops *)
+  macro_count : int;  (** behavioral fallback blocks *)
+}
+
+val of_analysis : ?io:Asim_sim.Io.handler -> Asim_analysis.Analysis.t -> t
+(** Lower and link the network.  Raises {!Asim_core.Error.Error} on specs the
+    RTL engines would reject. *)
+
+val step : t -> unit
+(** One clock cycle: evaluate the combinational network in dependency order,
+    then clock every flip-flop and macro. *)
+
+val run : t -> cycles:int -> unit
+
+val read : t -> string -> int
+(** A component's current output as the unsigned value of its nets (for
+    memories, the registered output). *)
+
+val width : t -> string -> int
+(** Nets allocated for the component. *)
+
+val stats : t -> stats
+
+val describe : t -> string
+(** One line per component: its realization (gates / flip-flops / macro). *)

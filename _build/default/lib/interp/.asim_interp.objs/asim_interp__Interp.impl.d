@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Asim_analysis Asim_core Asim_sim Bits Component Error Expr Fault Io List Machine Number Spec Stats String Trace

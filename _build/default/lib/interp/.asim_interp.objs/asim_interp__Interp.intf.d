@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Asim_analysis Asim_core Asim_sim

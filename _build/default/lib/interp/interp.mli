@@ -1,0 +1,19 @@
+(** The ASIM-style interpreter — the paper's baseline.
+
+    ASIM "reads the specification into tables, and produces a simulation run
+    by interpreting the symbols in the table" (§3.1).  Accordingly this
+    engine keeps every expression as its source string and re-interprets the
+    symbols on each evaluation: atoms are re-classified, numbers re-converted
+    ([str2num]), and component names resolved by linear search through the
+    symbol table ([findname]) — once per reference, every cycle.  That
+    per-cycle symbol handling is precisely what the ASIM II compiler
+    removes, and is what Figure 5.1 measures.  Observable behaviour (trace
+    lines, I/O events, statistics) is identical to [Asim_compile]. *)
+
+val create :
+  ?config:Asim_sim.Machine.config -> Asim_analysis.Analysis.t -> Asim_sim.Machine.t
+(** Build an interpreted machine.  Default config is
+    {!Asim_sim.Machine.default_config}. *)
+
+val of_spec : ?config:Asim_sim.Machine.config -> Asim_core.Spec.t -> Asim_sim.Machine.t
+(** [create] after [Asim_analysis.Analysis.analyze]. *)

@@ -1,0 +1,1 @@
+lib/netlist/parts.ml: Printf Stdlib

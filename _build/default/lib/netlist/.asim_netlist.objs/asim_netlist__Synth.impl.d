@@ -1,0 +1,1 @@
+lib/netlist/synth.ml: Array Asim_analysis Asim_core Buffer Component Expr List Number Option Parts Printf Spec String

@@ -1,0 +1,1 @@
+lib/netlist/synth.mli: Asim_core Parts Spec

@@ -1,0 +1,39 @@
+type t =
+  | Ram of { words : int; bits : int }
+  | Rom of { words : int; bits : int }
+  | Dual_d_flip_flop
+  | Quad_d_flip_flop
+  | Hex_d_flip_flop
+  | Adder_4bit
+  | Comparator_4bit
+  | Alu_4bit
+  | Mux_8to1
+  | Dual_mux_4to1
+  | Quad_mux_2to1
+  | Quad_and
+  | Quad_or
+  | Quad_xor
+  | Hex_inverter
+
+let size_name words =
+  if words >= 1024 && words mod 1024 = 0 then Printf.sprintf "%dK" (words / 1024)
+  else string_of_int words
+
+let name = function
+  | Ram { words; bits } -> Printf.sprintf "%s x %d bit RAM" (size_name words) bits
+  | Rom { words; bits } -> Printf.sprintf "%s x %d bit ROM" (size_name words) bits
+  | Dual_d_flip_flop -> "dual D flip flop"
+  | Quad_d_flip_flop -> "quad D flip flop"
+  | Hex_d_flip_flop -> "hex D flip flop"
+  | Adder_4bit -> "4 bit adder"
+  | Comparator_4bit -> "4 bit comparator"
+  | Alu_4bit -> "4 bit alu"
+  | Mux_8to1 -> "8 to 1 multiplexor"
+  | Dual_mux_4to1 -> "dual 4 to 1 multiplexor"
+  | Quad_mux_2to1 -> "quad 2 to 1 multiplexor"
+  | Quad_and -> "quad AND"
+  | Quad_or -> "quad OR"
+  | Quad_xor -> "quad XOR"
+  | Hex_inverter -> "hex inverter"
+
+let compare = Stdlib.compare

@@ -1,0 +1,29 @@
+(** The hardware catalog of Appendix F.
+
+    "Each of the components in the specification has a hardware component
+    represented in the diagram" (§5.3).  These are the MSI parts the thesis
+    maps its example machine onto; the synthesizer picks from the same
+    shelf. *)
+
+type t =
+  | Ram of { words : int; bits : int }  (** e.g. 2K x 8 bit RAM *)
+  | Rom of { words : int; bits : int }
+  | Dual_d_flip_flop
+  | Quad_d_flip_flop
+  | Hex_d_flip_flop
+  | Adder_4bit
+  | Comparator_4bit
+  | Alu_4bit
+  | Mux_8to1
+  | Dual_mux_4to1
+  | Quad_mux_2to1
+  | Quad_and
+  | Quad_or
+  | Quad_xor
+  | Hex_inverter
+
+val name : t -> string
+(** Catalog description, e.g. ["2K x 8 bit RAM"]. *)
+
+val compare : t -> t -> int
+(** Total order for aggregation. *)

@@ -1,0 +1,1 @@
+lib/sim/coverage.ml: Array Asim_analysis Asim_core Bits Buffer Component Error Fault Io List Machine Printf Spec Trace

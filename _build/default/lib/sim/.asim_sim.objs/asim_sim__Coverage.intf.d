@@ -1,0 +1,1 @@
+lib/sim/coverage.mli: Asim_analysis Fault Machine

@@ -1,0 +1,1 @@
+lib/sim/io.ml: Char List Printf Scanf

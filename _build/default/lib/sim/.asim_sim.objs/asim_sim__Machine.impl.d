@@ -1,0 +1,1 @@
+lib/sim/machine.ml: Asim_analysis Asim_core Error Fault Io Spec Stats Trace

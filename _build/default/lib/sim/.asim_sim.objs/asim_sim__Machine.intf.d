@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Asim_analysis Fault Io Stats Trace

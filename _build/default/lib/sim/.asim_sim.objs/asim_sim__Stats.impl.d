@@ -1,0 +1,1 @@
+lib/sim/stats.ml: Asim_core Buffer Component Format List Printf

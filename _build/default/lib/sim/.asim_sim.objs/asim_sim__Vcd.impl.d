@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Asim_analysis Asim_core Bits Buffer Char Component Error Hashtbl List Machine Printf Spec String

@@ -1,0 +1,54 @@
+(** Fault-coverage analysis (§2.3.2).
+
+    "One way to [verify a design] is by fault injection, the process of
+    inserting a fault in the specification to cause errors (by design) in
+    the simulation run."  This module turns that idea into a measurement:
+    enumerate single stuck-at faults over every component's output bits, run
+    the workload once per fault, and report which faults the workload
+    {e detects} — i.e. which ones change something observable (a traced
+    value or an I/O event).  Undetected faults mark parts of the design the
+    test program never exercises. *)
+
+type observation_point =
+  | Traced_values  (** the per-cycle values of the spec's traced components *)
+  | All_values  (** every component's value, every cycle *)
+  | Io_events  (** the input/output event stream only *)
+
+type result = {
+  fault : Fault.fault;
+  detected : bool;
+  first_divergence : int option;
+      (** cycle of the first observable difference, when detected through
+          values; [None] for I/O-stream detections and undetected faults *)
+}
+
+type report = {
+  results : result list;
+  total : int;
+  detected_count : int;
+}
+
+val coverage : report -> float
+(** Detected fraction, 0..1. *)
+
+val stuck_at_faults :
+  ?bits_per_component:int -> Asim_analysis.Analysis.t -> Fault.fault list
+(** One stuck-at-0 and one stuck-at-1 fault per output bit of every
+    component, bits bounded by the inferred width (and by
+    [bits_per_component], default 8, to keep fault lists tractable). *)
+
+val run :
+  ?observe:observation_point ->
+  ?cycles:int ->
+  engine:
+    (Machine.config -> Asim_analysis.Analysis.t -> Machine.t) ->
+  Asim_analysis.Analysis.t ->
+  faults:Fault.fault list ->
+  report
+(** Run the healthy reference, then one simulation per fault (default
+    cycle budget: the spec's [= N] or 100).  [observe] defaults to
+    [Traced_values] when the spec traces anything, [All_values]
+    otherwise. *)
+
+val to_string : report -> string
+(** Summary plus the list of undetected faults. *)

@@ -1,0 +1,50 @@
+type kind =
+  | Stuck_at of int
+  | Flip_bit of int
+  | Stuck_bit_high of int
+  | Stuck_bit_low of int
+
+type fault = {
+  component : string;
+  kind : kind;
+  first_cycle : int;
+  last_cycle : int option;
+}
+
+type plan = fault list
+
+let none = []
+
+let make ?(first_cycle = 0) ?last_cycle component kind =
+  { component; kind; first_cycle; last_cycle }
+
+let stuck_at ?first_cycle ?last_cycle component value =
+  make ?first_cycle ?last_cycle component (Stuck_at value)
+
+let flip_bit ?first_cycle ?last_cycle component bit =
+  make ?first_cycle ?last_cycle component (Flip_bit bit)
+
+let active fault ~cycle =
+  cycle >= fault.first_cycle
+  && match fault.last_cycle with None -> true | Some last -> cycle <= last
+
+let apply_kind kind value =
+  match kind with
+  | Stuck_at v -> v
+  | Flip_bit b -> value lxor (1 lsl b)
+  | Stuck_bit_high b -> value lor (1 lsl b)
+  | Stuck_bit_low b -> value land lnot (1 lsl b)
+
+let apply plan ~cycle ~component value =
+  List.fold_left
+    (fun value fault ->
+      if String.equal fault.component component && active fault ~cycle then
+        apply_kind fault.kind value
+      else value)
+    value plan
+
+let targets plan =
+  List.fold_left
+    (fun acc fault -> if List.mem fault.component acc then acc else fault.component :: acc)
+    [] plan
+  |> List.rev

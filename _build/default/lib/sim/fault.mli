@@ -1,0 +1,38 @@
+(** Fault injection (§2.3.2).
+
+    "One way to [test a design] is by fault injection, the process of
+    inserting a fault in the specification to cause errors (by design) in the
+    simulation run."  A fault plan forces or perturbs the output of a named
+    component over a cycle window; engines apply it to combinational outputs
+    as they are computed and to memory outputs as they are latched. *)
+
+type kind =
+  | Stuck_at of int  (** output forced to a constant *)
+  | Flip_bit of int  (** one output bit inverted (0 = LSB) *)
+  | Stuck_bit_high of int
+  | Stuck_bit_low of int
+
+type fault = {
+  component : string;
+  kind : kind;
+  first_cycle : int;  (** inclusive *)
+  last_cycle : int option;  (** inclusive; [None] = forever *)
+}
+
+type plan = fault list
+
+val none : plan
+
+val stuck_at : ?first_cycle:int -> ?last_cycle:int -> string -> int -> fault
+
+val flip_bit : ?first_cycle:int -> ?last_cycle:int -> string -> int -> fault
+
+val active : fault -> cycle:int -> bool
+
+val apply : plan -> cycle:int -> component:string -> int -> int
+(** Transform a freshly computed output value through every active fault
+    targeting [component]. *)
+
+val targets : plan -> string list
+(** Components named by the plan (deduplicated); engines may skip fault
+    lookup entirely when this is empty. *)

@@ -1,0 +1,51 @@
+open Asim_core
+
+type config = {
+  io : Io.handler;
+  trace : Trace.sink;
+  faults : Fault.plan;
+}
+
+let default_config =
+  { io = Io.console; trace = Trace.channel_sink stdout; faults = Fault.none }
+
+let quiet_config = { io = Io.null; trace = Trace.null_sink; faults = Fault.none }
+
+type t = {
+  analysis : Asim_analysis.Analysis.t;
+  step : unit -> unit;
+  read : string -> int;
+  read_cell : string -> int -> int;
+  write_cell : string -> int -> int -> unit;
+  current_cycle : unit -> int;
+  stats : Stats.t;
+}
+
+let run t ~cycles =
+  for _ = 1 to cycles do
+    t.step ()
+  done
+
+let run_until t ~max_cycles ~stop =
+  let rec go n =
+    if n >= max_cycles then n
+    else begin
+      t.step ();
+      let n = n + 1 in
+      if stop t then n else go n
+    end
+  in
+  go 0
+
+let spec_cycles t ~default =
+  match t.analysis.Asim_analysis.Analysis.spec.Spec.cycles with
+  | Some n -> n
+  | None -> default
+
+let selector_out_of_range ~component ~cycle ~index ~cases =
+  Error.failf ~component Error.Runtime
+    "cycle %d: selector value %d exceeds the number of sources (%d)" cycle index cases
+
+let address_out_of_range ~component ~cycle ~address ~cells =
+  Error.failf ~component Error.Runtime
+    "cycle %d: memory address %d outside declared range 0..%d" cycle address (cells - 1)

@@ -1,0 +1,48 @@
+(** The engine-agnostic face of a running simulation.
+
+    Both the ASIM-style interpreter ([Asim_interp]) and the ASIM II-style
+    compiler ([Asim_compile]) produce a value of this type; everything else
+    (runner, CLI, VCD, examples, benches) works against it, so engines are
+    interchangeable and directly comparable. *)
+
+type config = {
+  io : Io.handler;
+  trace : Trace.sink;
+  faults : Fault.plan;
+}
+
+val default_config : config
+(** Console I/O, trace to stdout, no faults. *)
+
+val quiet_config : config
+(** Null I/O, no trace, no faults — for benchmarks. *)
+
+type t = {
+  analysis : Asim_analysis.Analysis.t;
+  step : unit -> unit;  (** execute one full clock cycle *)
+  read : string -> int;
+      (** current output of a component: combinational value for ALUs and
+          selectors, latched (temporary) value for memories *)
+  read_cell : string -> int -> int;  (** memory cell content *)
+  write_cell : string -> int -> int -> unit;
+      (** poke a memory cell (testing / loading) *)
+  current_cycle : unit -> int;  (** cycles completed so far *)
+  stats : Stats.t;
+}
+
+val run : t -> cycles:int -> unit
+(** [run m ~cycles] executes exactly [cycles] steps. *)
+
+val run_until : t -> max_cycles:int -> stop:(t -> bool) -> int
+(** Step until [stop] holds (checked after each step) or [max_cycles] steps
+    have run; returns the number of steps executed. *)
+
+val spec_cycles : t -> default:int -> int
+(** The spec's [= N] cycle count, or [default]. *)
+
+val selector_out_of_range : component:string -> cycle:int -> index:int -> cases:int -> 'a
+(** Shared runtime error: selector index beyond the value list (the paper's
+    documented runtime error). *)
+
+val address_out_of_range : component:string -> cycle:int -> address:int -> cells:int -> 'a
+(** Shared runtime error: memory address outside [0, cells). *)

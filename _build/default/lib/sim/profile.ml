@@ -1,0 +1,47 @@
+type histogram = (int * int) list
+
+let run (m : Machine.t) ~cycles ~components =
+  let tables = List.map (fun name -> (name, Hashtbl.create 64)) components in
+  for _ = 1 to cycles do
+    m.Machine.step ();
+    List.iter
+      (fun (name, table) ->
+        let v = m.Machine.read name in
+        Hashtbl.replace table v (1 + try Hashtbl.find table v with Not_found -> 0))
+      tables
+  done;
+  List.map
+    (fun (name, table) ->
+      let entries = Hashtbl.fold (fun v n acc -> (v, n) :: acc) table [] in
+      (name, List.sort (fun (_, a) (_, b) -> compare b a) entries))
+    tables
+
+let total histogram = List.fold_left (fun acc (_, n) -> acc + n) 0 histogram
+
+let duty_cycle histogram ~bit =
+  let t = total histogram in
+  if t = 0 then 0.
+  else
+    let set =
+      List.fold_left
+        (fun acc (v, n) -> if (v lsr bit) land 1 = 1 then acc + n else acc)
+        0 histogram
+    in
+    float_of_int set /. float_of_int t
+
+let top ?(n = 8) histogram = List.filteri (fun i _ -> i < n) histogram
+
+let to_string profiles =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun (name, histogram) ->
+      let t = total histogram in
+      Buffer.add_string buf (Printf.sprintf "%s (%d samples):\n" name t);
+      List.iter
+        (fun (v, n) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %10d  %8d cycles  %5.1f%%\n" v n
+               (100. *. float_of_int n /. float_of_int (max 1 t))))
+        (top histogram))
+    profiles;
+  Buffer.contents buf

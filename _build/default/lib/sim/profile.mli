@@ -1,0 +1,27 @@
+(** Value-occupancy profiling.
+
+    §1.4: the register-transfer simulation "will typically produce statistics
+    about the actual simulation, such as execution cycles required, memory
+    accesses, and other related information.  This extra output is invaluable
+    when the designer desires to view the internal states of a
+    microprocessor."  {!Stats} counts memory traffic; this module samples
+    selected component outputs every cycle and reports how often each value
+    occurred — state-occupancy histograms, duty cycles, hot addresses. *)
+
+type histogram = (int * int) list
+(** value → number of cycles it was observed, most frequent first. *)
+
+val run :
+  Machine.t -> cycles:int -> components:string list -> (string * histogram) list
+(** Step the machine [cycles] times, sampling each listed component after
+    every cycle. *)
+
+val duty_cycle : histogram -> bit:int -> float
+(** Fraction of samples with the given bit set. *)
+
+val top : ?n:int -> histogram -> (int * int) list
+(** The [n] (default 8) most frequent values. *)
+
+val to_string : (string * histogram) list -> string
+(** Multi-line report: per component, the top values with counts and
+    percentages. *)

@@ -1,0 +1,50 @@
+open Asim_core
+
+type memory_counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable inputs : int;
+  mutable outputs : int;
+}
+
+type t = { mutable cycle_count : int; memories : (string * memory_counters) list }
+
+let create ~memories =
+  {
+    cycle_count = 0;
+    memories =
+      List.map (fun name -> (name, { reads = 0; writes = 0; inputs = 0; outputs = 0 })) memories;
+  }
+
+let cycles t = t.cycle_count
+
+let bump_cycle t = t.cycle_count <- t.cycle_count + 1
+
+let memory t name = List.assoc name t.memories
+
+let count_op t name op =
+  let c = memory t name in
+  match op with
+  | Component.Op_read -> c.reads <- c.reads + 1
+  | Component.Op_write -> c.writes <- c.writes + 1
+  | Component.Op_input -> c.inputs <- c.inputs + 1
+  | Component.Op_output -> c.outputs <- c.outputs + 1
+
+let total_accesses t =
+  List.fold_left
+    (fun acc (_, c) -> acc + c.reads + c.writes + c.inputs + c.outputs)
+    0 t.memories
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "cycles executed: %d\n" t.cycle_count);
+  List.iter
+    (fun (name, c) ->
+      Buffer.add_string buf
+        (Printf.sprintf "memory %-12s reads %8d  writes %8d  inputs %6d  outputs %6d\n"
+           name c.reads c.writes c.inputs c.outputs))
+    t.memories;
+  Buffer.add_string buf (Printf.sprintf "total memory accesses: %d" (total_accesses t));
+  Buffer.contents buf
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,31 @@
+(** Simulation statistics (§1.4: "execution cycles required, memory accesses,
+    and other related information"). *)
+
+type memory_counters = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable inputs : int;
+  mutable outputs : int;
+}
+
+type t
+
+val create : memories:string list -> t
+
+val cycles : t -> int
+
+val bump_cycle : t -> unit
+
+val memory : t -> string -> memory_counters
+(** Counters for one memory.  Raises [Not_found] for unknown names. *)
+
+val count_op : t -> string -> Asim_core.Component.memory_op -> unit
+(** Record one memory operation of the given kind. *)
+
+val total_accesses : t -> int
+(** Sum of all memory reads/writes/inputs/outputs. *)
+
+val to_string : t -> string
+(** Multi-line human-readable report. *)
+
+val pp : Format.formatter -> t -> unit

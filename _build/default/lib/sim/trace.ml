@@ -1,0 +1,29 @@
+type sink = string -> unit
+
+let null_sink _ = ()
+
+let channel_sink oc line =
+  output_string oc line;
+  output_char oc '\n'
+
+let buffer_sink buf line =
+  Buffer.add_string buf line;
+  Buffer.add_char buf '\n'
+
+let list_sink () =
+  let lines = ref [] in
+  ((fun line -> lines := line :: !lines), fun () -> List.rev !lines)
+
+let cycle_line ~cycle traced =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (Printf.sprintf "Cycle %3d" cycle);
+  List.iter
+    (fun (name, value) -> Buffer.add_string buf (Printf.sprintf " %s= %d" name value))
+    traced;
+  Buffer.contents buf
+
+let write_line ~memory ~address ~data =
+  Printf.sprintf "Write to %s at %d: %d" memory address data
+
+let read_line ~memory ~address ~data =
+  Printf.sprintf "Read from %s at %d: %d" memory address data

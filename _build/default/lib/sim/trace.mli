@@ -1,0 +1,26 @@
+(** Trace-line formatting, byte-compatible with the generated Pascal's
+    [write]/[writeln] calls, and sinks to direct the text somewhere. *)
+
+type sink = string -> unit
+(** Receives complete lines, without the trailing newline. *)
+
+val null_sink : sink
+
+val channel_sink : out_channel -> sink
+(** Appends a newline per line. *)
+
+val buffer_sink : Buffer.t -> sink
+(** Appends lines separated by ['\n'] (with a trailing newline per line). *)
+
+val list_sink : unit -> sink * (unit -> string list)
+(** Collects lines; the second component returns them in emission order. *)
+
+val cycle_line : cycle:int -> (string * int) list -> string
+(** ["Cycle   7 state= 3 pc= 12"] — cycle right-justified to width 3, then
+    [" name= value"] per traced component, exactly as Appendix E prints. *)
+
+val write_line : memory:string -> address:int -> data:int -> string
+(** ["Write to ram at 15: 42"]. *)
+
+val read_line : memory:string -> address:int -> data:int -> string
+(** ["Read from ram at 15: 42"]. *)

@@ -1,0 +1,47 @@
+(** Value Change Dump output.
+
+    A modern convenience the 1986 tool lacked: record selected component
+    outputs over a run and emit an IEEE 1364 VCD file loadable by any
+    waveform viewer.  Signal widths come from [Asim_analysis.Width]. *)
+
+val record :
+  ?names:string list ->
+  ?timescale:string ->
+  Machine.t ->
+  cycles:int ->
+  string
+(** Run the machine for [cycles] steps, sampling [names] (default: the
+    spec's traced components, or every component when none are traced)
+    after every step, and return the VCD text.  One VCD time unit per
+    cycle. *)
+
+val record_to_file :
+  ?names:string list ->
+  ?timescale:string ->
+  Machine.t ->
+  cycles:int ->
+  path:string ->
+  unit
+
+(** {2 Reading waveforms back}
+
+    Enough of IEEE 1364 to round-trip this module's own output (and any
+    dump using scalar/vector value changes), supporting golden-waveform
+    tests and fault-run comparison. *)
+
+type wave = {
+  signal : string;
+  bits : int;
+  changes : (int * int) list;  (** (time, new value), time-ascending *)
+}
+
+val parse : string -> wave list
+(** Raises {!Asim_core.Error.Error} (phase [Parsing]) on malformed input. *)
+
+val value_at : wave -> int -> int
+(** The signal's value at a time (0 before its first change). *)
+
+val diff : wave list -> wave list -> (string * int list) list
+(** Signals present in both waveform sets whose values differ, with the
+    times at which they do; signals present in only one set are reported
+    with time [-1].  Empty means the dumps are equivalent. *)

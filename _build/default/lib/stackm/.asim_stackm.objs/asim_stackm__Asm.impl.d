@@ -1,0 +1,1 @@
+lib/stackm/asm.ml: Array Asim_core Error Hashtbl Isa List

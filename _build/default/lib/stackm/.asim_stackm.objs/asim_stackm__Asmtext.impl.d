@@ -1,0 +1,1 @@
+lib/stackm/asmtext.ml: Asim_core Asm Error Isa List Spec String

@@ -1,0 +1,1 @@
+lib/stackm/asmtext.mli: Asm

@@ -1,0 +1,1 @@
+lib/stackm/demos.ml: Asm Isa List

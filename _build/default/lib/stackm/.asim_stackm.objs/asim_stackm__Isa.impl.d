@@ -1,0 +1,1 @@
+lib/stackm/isa.ml: Array Buffer List Printf

@@ -1,0 +1,1 @@
+lib/stackm/ispsim.ml: Array Asim_core Asim_sim Bits Io Isa List

@@ -1,0 +1,1 @@
+lib/stackm/ispsim.mli: Asim_sim

@@ -1,0 +1,1 @@
+lib/stackm/microcode.ml: Array Asim_core Component Expr List Spec

@@ -1,0 +1,1 @@
+lib/stackm/microcode.mli: Asim_core

@@ -1,0 +1,1 @@
+lib/stackm/profile.ml: Array Asim_analysis Asim_compile Asim_interp Asim_sim Buffer Hashtbl List Microcode Printf

@@ -1,0 +1,1 @@
+lib/stackm/programs.ml: Asim_analysis Asim_compile Asim_interp Asim_sim Io List Machine Microcode

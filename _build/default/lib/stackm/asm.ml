@@ -1,0 +1,130 @@
+open Asim_core
+
+type item =
+  | Op of Isa.t
+  | Push of int
+  | Bz_to of string
+  | Jmp_to of string
+  | Label of string
+
+let fail fmt = Error.failf Error.Analysis fmt
+
+let push_ops v =
+  if v = 0 then [ Isa.Ldz ]
+  else if v < 0 then [ Isa.Ldc (-v); Isa.Neg ]
+  else if v <= 15 then [ Isa.Ld0 v ]
+  else if v <= 31 then [ Isa.Ld1 (v - 16) ]
+  else [ Isa.Ldc v ]
+
+let ops_size ops = List.fold_left (fun acc op -> acc + Isa.size op) 0 ops
+
+(* The branch displacement depends on the sequence's own length (the BZ sits
+   at its end), so each candidate size is tried with an encoding of exactly
+   that size — the 6-word LDC legally encodes small displacements too, which
+   closes the gap where shrinking to a short form would change the delta. *)
+let branch_ops_at ~addr ~target =
+  let try_size size =
+    let delta = target - (addr + size) in
+    match size with
+    | 2 when delta = 0 -> Some [ Isa.Ldz; Isa.Bz ]
+    | 3 when delta >= 1 && delta <= 15 -> Some [ Isa.Ld0 delta; Isa.Bz ]
+    | 3 when delta >= 16 && delta <= 31 -> Some [ Isa.Ld1 (delta - 16); Isa.Bz ]
+    | 4 when delta <= -1 && delta >= -15 -> Some [ Isa.Ld0 (-delta); Isa.Neg; Isa.Bz ]
+    | 4 when delta <= -16 && delta >= -31 ->
+        Some [ Isa.Ld1 (-delta - 16); Isa.Neg; Isa.Bz ]
+    | 7 when delta >= 0 && delta <= 0xFFFF -> Some [ Isa.Ldc delta; Isa.Bz ]
+    | 8 when delta < 0 && delta >= -0xFFFF -> Some [ Isa.Ldc (-delta); Isa.Neg; Isa.Bz ]
+    | _ -> None
+  in
+  let rec try_sizes = function
+    | [] -> fail "assembler: cannot encode branch from %d to %d" addr target
+    | size :: rest -> (
+        match try_size size with Some ops -> ops | None -> try_sizes rest)
+  in
+  try_sizes [ 2; 3; 4; 7; 8 ]
+
+let item_min_size = function
+  | Op op -> Isa.size op
+  | Push v -> ops_size (push_ops v)
+  | Bz_to _ -> 2
+  | Jmp_to _ -> 3
+  | Label _ -> 0
+
+let assemble items =
+  (* Iterate: compute label addresses from current size estimates, then
+     recompute sizes from the addresses, until stable. *)
+  let n = List.length items in
+  let sizes = Array.make n 0 in
+  List.iteri (fun i item -> sizes.(i) <- item_min_size item) items;
+  let labels = Hashtbl.create 16 in
+  let compute_labels () =
+    Hashtbl.reset labels;
+    let addr = ref 0 in
+    List.iteri
+      (fun i item ->
+        (match item with
+        | Label name ->
+            if Hashtbl.mem labels name then fail "assembler: label %s defined twice" name;
+            Hashtbl.add labels name !addr
+        | Op _ | Push _ | Bz_to _ | Jmp_to _ -> ());
+        addr := !addr + sizes.(i))
+      items
+  in
+  let lookup name =
+    match Hashtbl.find_opt labels name with
+    | Some a -> a
+    | None -> fail "assembler: label %s undefined" name
+  in
+  let encode_item addr = function
+    | Op op -> [ op ]
+    | Push v -> push_ops v
+    | Bz_to name -> branch_ops_at ~addr ~target:(lookup name)
+    | Jmp_to name -> Isa.Ldz :: branch_ops_at ~addr:(addr + 1) ~target:(lookup name)
+    | Label _ -> []
+  in
+  let rec settle fuel =
+    if fuel = 0 then fail "assembler: sizes did not converge";
+    compute_labels ();
+    let changed = ref false in
+    let addr = ref 0 in
+    List.iteri
+      (fun i item ->
+        let ops = encode_item !addr item in
+        let size = ops_size ops in
+        if size <> sizes.(i) then begin
+          sizes.(i) <- size;
+          changed := true
+        end;
+        addr := !addr + sizes.(i))
+      items;
+    if !changed then settle (fuel - 1)
+  in
+  settle 16;
+  compute_labels ();
+  let words = ref [] in
+  let addr = ref 0 in
+  List.iteri
+    (fun i item ->
+      let ops = encode_item !addr item in
+      List.iter (fun op -> words := List.rev_append (Isa.encode op) !words) ops;
+      addr := !addr + sizes.(i))
+    items;
+  Array.of_list (List.rev !words)
+
+let push v = Push v
+
+let op o = Op o
+
+let label name = Label name
+
+let bz name = Bz_to name
+
+let jmp name = Jmp_to name
+
+let enter_frame size = [ Push size; Op Isa.Enter ]
+
+let load_local offset = [ Push offset; Op Isa.Ld ]
+
+let store_local offset = [ Push offset; Op Isa.St ]
+
+let output_top = [ Push 4096; Op Isa.St ]

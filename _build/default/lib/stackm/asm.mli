@@ -1,0 +1,44 @@
+(** Assembler for the stack machine, with labels and constant-push
+    selection.
+
+    The assembler picks the shortest encoding for pushed constants ([LDZ],
+    [LD0], [LD1], or an escaped [LDC]) and resolves branch targets to the
+    pop-an-offset form the hardware expects: a branch to [label] assembles
+    as {i push |delta|} (+ [NEG] when backward) followed by [BZ], where
+    [delta] is relative to the word after the [BZ].  Because encoding sizes
+    depend on the offsets and vice versa, assembly iterates to a fixpoint. *)
+
+type item =
+  | Op of Isa.t  (** a bare operation *)
+  | Push of int  (** push a constant (encoding chosen automatically) *)
+  | Bz_to of string  (** pop a condition; branch to the label when zero *)
+  | Jmp_to of string  (** unconditional branch (pushes a zero condition) *)
+  | Label of string
+
+val assemble : item list -> int array
+(** Raises {!Asim_core.Error.Error} (phase [Analysis]) on duplicate or
+    undefined labels, or when assembly does not converge. *)
+
+(** Shorthands for common idioms. *)
+
+val push : int -> item
+
+val op : Isa.t -> item
+
+val label : string -> item
+
+val bz : string -> item
+
+val jmp : string -> item
+
+val enter_frame : int -> item list
+(** [push size; Op Enter] — allocate a frame with locals at [fp+1..]. *)
+
+val load_local : int -> item list
+(** [push offset; Op Ld]. *)
+
+val store_local : int -> item list
+(** [push offset; Op St] — stores the value below the offset. *)
+
+val output_top : item list
+(** Write the top of stack to the output device (address 4096) and pop it. *)

@@ -1,0 +1,104 @@
+open Asim_core
+
+let fail ~line fmt =
+  Error.failf ~position:{ Error.line; column = 1 } Error.Parsing fmt
+
+let strip_comment s =
+  let cut =
+    match (String.index_opt s ';', String.index_opt s '#') with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub s 0 i | None -> s
+
+let tokens_of_line s =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s)
+  |> List.filter (fun t -> t <> "")
+
+let int_operand ~line = function
+  | [ n ] -> (
+      match int_of_string_opt n with
+      | Some v -> v
+      | None -> fail ~line "bad numeric operand %s" n)
+  | _ -> fail ~line "expected one numeric operand"
+
+let label_operand ~line = function
+  | [ l ] when Spec.is_valid_name l -> l
+  | _ -> fail ~line "expected one label operand"
+
+let no_operand ~line items = function
+  | [] -> items
+  | _ -> fail ~line "unexpected operand"
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let items = ref [] in
+  let emit i = items := i :: !items in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim (strip_comment raw) in
+      if text <> "" then begin
+        (* leading [name:] defines a label; the rest of the line continues *)
+        let text =
+          match String.index_opt text ':' with
+          | Some i
+            when i > 0 && Spec.is_valid_name (String.sub text 0 i) ->
+              emit (Asm.label (String.sub text 0 i));
+              String.trim (String.sub text (i + 1) (String.length text - i - 1))
+          | _ -> text
+        in
+        match tokens_of_line text with
+        | [] -> ()
+        | mnemonic :: operands -> (
+            let simple op = emit (Asm.op op) in
+            match (String.lowercase_ascii mnemonic, operands) with
+            | "push", ops -> emit (Asm.push (int_operand ~line ops))
+            | "enter", [] -> simple Isa.Enter
+            | "enter", ops ->
+                emit (Asm.push (int_operand ~line ops));
+                emit (Asm.op Isa.Enter)
+            | "load", ops ->
+                emit (Asm.push (int_operand ~line ops));
+                emit (Asm.op Isa.Ld)
+            | "store", ops ->
+                emit (Asm.push (int_operand ~line ops));
+                emit (Asm.op Isa.St)
+            | "out", ops ->
+                ignore (no_operand ~line () ops);
+                emit (Asm.push 4096);
+                emit (Asm.op Isa.St)
+            | "in", ops ->
+                ignore (no_operand ~line () ops);
+                emit (Asm.push 4096);
+                emit (Asm.op Isa.Ld)
+            | "bz", ops -> emit (Asm.bz (label_operand ~line ops))
+            | "jmp", ops -> emit (Asm.jmp (label_operand ~line ops))
+            | "ldz", [] -> simple Isa.Ldz
+            | "dupe", [] | "dup", [] -> simple Isa.Dupe
+            | "swap", [] -> simple Isa.Swap
+            | "add", [] -> simple Isa.Add
+            | "mpy", [] | "mul", [] -> simple Isa.Mpy
+            | "and", [] -> simple Isa.And_
+            | "less", [] -> simple Isa.Less
+            | "equal", [] | "eq", [] -> simple Isa.Equal
+            | "not", [] -> simple Isa.Not_
+            | "neg", [] -> simple Isa.Neg
+            | "ld", [] -> simple Isa.Ld
+            | "st", [] -> simple Isa.St
+            | "nop", [] -> simple Isa.Nop
+            | "index", [] -> simple Isa.Index
+            | "glob", [] -> simple Isa.Glob
+            | "exit", [] -> simple Isa.Exit_
+            | "call", [] -> simple Isa.Call
+            | "ld0", ops -> emit (Asm.op (Isa.Ld0 (int_operand ~line ops)))
+            | "ld1", ops -> emit (Asm.op (Isa.Ld1 (int_operand ~line ops)))
+            | "ldc", ops -> emit (Asm.op (Isa.Ldc (int_operand ~line ops)))
+            | m, _ -> fail ~line "unknown or malformed instruction %s" m)
+      end)
+    lines;
+  List.rev !items
+
+let assemble source = Asm.assemble (parse source)

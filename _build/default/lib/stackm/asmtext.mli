@@ -1,0 +1,26 @@
+(** Textual assembly for the stack machine.
+
+    One operation per line; [;] or [#] start comments; a [name:] line (or
+    prefix) defines a label.  Mnemonics are the {!Isa} names plus the
+    assembler conveniences:
+
+    {v
+        push 26        ; any 0..65535, or negative (encoded via NEG)
+        enter 2        ; sugar: push 2; enter
+        load 1         ; sugar: push 1; ld      (frame offset)
+        store 1        ; sugar: push 1; st
+        out            ; sugar: push 4096; st   (integer output device)
+        in             ; sugar: push 4096; ld   (integer input device)
+        bz done        ; pop condition, branch if zero
+        jmp loop       ; unconditional
+    loop:
+        dupe add mpy and less equal not neg ld st swap nop
+        index glob exit call enter ldz
+    v} *)
+
+val parse : string -> Asm.item list
+(** Raises {!Asim_core.Error.Error} (phase [Parsing]) with a line number on
+    unknown mnemonics or malformed operands. *)
+
+val assemble : string -> int array
+(** [Asm.assemble] of {!parse}: source text → program ROM image. *)

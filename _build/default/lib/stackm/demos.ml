@@ -1,0 +1,186 @@
+open Isa
+
+let countdown n =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         Asm.enter_frame 2;
+         [ Asm.push n ];
+         Asm.store_local 1;
+         [ Asm.label "loop" ];
+         Asm.load_local 1;
+         Asm.output_top;
+         Asm.load_local 1;
+         [ Asm.push 1; Asm.op Neg; Asm.op Add; Asm.op Dupe ];
+         Asm.store_local 1;
+         [ Asm.bz "done"; Asm.jmp "loop"; Asm.label "done"; Asm.jmp "done" ];
+       ])
+
+let countdown_cycles n = 400 + (n * 400)
+
+let squares n =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         Asm.enter_frame 2;
+         [ Asm.push 1 ];
+         Asm.store_local 1;
+         [ Asm.label "loop" ];
+         Asm.load_local 1;
+         [ Asm.op Dupe; Asm.op Mpy ];
+         Asm.output_top;
+         Asm.load_local 1;
+         [ Asm.push 1; Asm.op Add; Asm.op Dupe ];
+         Asm.store_local 1;
+         [ Asm.push (n + 1); Asm.op Equal; Asm.bz "loop" ];
+         [ Asm.label "done"; Asm.jmp "done" ];
+       ])
+
+let squares_cycles n = 600 + (n * 600)
+
+(* locals: 1 = a, 2 = b, 3 = counter *)
+let fibonacci n =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         Asm.enter_frame 4;
+         [ Asm.push 0 ]; Asm.store_local 1;
+         [ Asm.push 1 ]; Asm.store_local 2;
+         [ Asm.push n ]; Asm.store_local 3;
+         [ Asm.label "loop" ];
+         Asm.load_local 1;
+         Asm.output_top;
+         (* t = a + b; a = b; b = t *)
+         Asm.load_local 1;
+         Asm.load_local 2;
+         [ Asm.op Add ];
+         Asm.load_local 2;
+         Asm.store_local 1;
+         Asm.store_local 2;
+         (* counter loop *)
+         Asm.load_local 3;
+         [ Asm.push 1; Asm.op Neg; Asm.op Add; Asm.op Dupe ];
+         Asm.store_local 3;
+         [ Asm.bz "done"; Asm.jmp "loop"; Asm.label "done"; Asm.jmp "done" ];
+       ])
+
+let fibonacci_cycles n = 600 + (n * 600)
+
+(* locals: 1 = a, 2 = b *)
+let gcd a b =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         Asm.enter_frame 3;
+         [ Asm.push a ]; Asm.store_local 1;
+         [ Asm.push b ]; Asm.store_local 2;
+         [ Asm.label "loop" ];
+         Asm.load_local 1;
+         Asm.load_local 2;
+         [ Asm.op Equal; Asm.bz "work"; Asm.jmp "done" ];
+         [ Asm.label "work" ];
+         Asm.load_local 1;
+         Asm.load_local 2;
+         [ Asm.op Less; Asm.bz "alarger" ];
+         (* a < b: b := b - a *)
+         Asm.load_local 2;
+         Asm.load_local 1;
+         [ Asm.op Neg; Asm.op Add ];
+         Asm.store_local 2;
+         [ Asm.jmp "loop" ];
+         [ Asm.label "alarger" ];
+         (* a > b: a := a - b *)
+         Asm.load_local 1;
+         Asm.load_local 2;
+         [ Asm.op Neg; Asm.op Add ];
+         Asm.store_local 1;
+         [ Asm.jmp "loop" ];
+         [ Asm.label "done" ];
+         Asm.load_local 1;
+         Asm.output_top;
+         [ Asm.label "halt"; Asm.jmp "halt" ];
+       ])
+
+let gcd_cycles = 60_000
+
+let sum_of_inputs =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         Asm.enter_frame 2;
+         [ Asm.push 0 ];
+         Asm.store_local 1;
+         [ Asm.label "loop" ];
+         (* input device: frame offset 4096 reaches I/O address 1 (integer
+            transfer), the same offset stores use for output *)
+         [ Asm.push 4096; Asm.op Ld; Asm.op Dupe; Asm.bz "done" ];
+         Asm.load_local 1;
+         [ Asm.op Add ];
+         Asm.store_local 1;
+         [ Asm.jmp "loop" ];
+         [ Asm.label "done" ];
+         Asm.load_local 1;
+         Asm.output_top;
+         [ Asm.label "halt"; Asm.jmp "halt" ];
+       ])
+
+let sum_of_inputs_cycles = 6000
+
+(* The Appendix D listing, re-expressed in assembler mnemonics.  Labels
+   follow the thesis comments (FOR1, FOR2, FOR3, SKIP, ENDFOR3, INC).
+   Locals: 1 = i, 2 = prime, 4 = count, 5 = scratch, 6..26 = flags. *)
+let sieve_reassembled =
+  Asm.assemble
+    (List.concat
+       [
+         [ Asm.op Nop ];
+         [ Asm.push 26; Asm.op Enter ];
+         [ Asm.op Ldz ];
+         Asm.store_local 4;
+         [ Asm.push 5 ];
+         (* for (i = 0; i <= size; i++) flags[i] := true *)
+         [ Asm.label "for1" ];
+         [ Asm.push 1; Asm.op Add; Asm.op Dupe; Asm.push 1; Asm.op Swap; Asm.op St ];
+         [ Asm.op Dupe; Asm.push 26; Asm.op Equal; Asm.bz "for1" ];
+         [ Asm.push 5; Asm.op St ];
+         [ Asm.op Ldz ];
+         Asm.store_local 1;
+         (* for (i = 0; i <= size; i++) if (flags[i]) ... *)
+         [ Asm.label "for2" ];
+         Asm.load_local 1;
+         [ Asm.push 6; Asm.op Add; Asm.op Ld; Asm.bz "inc" ];
+         (* prime := i + i + 3; output and remember it *)
+         Asm.load_local 1;
+         [ Asm.op Dupe; Asm.op Dupe; Asm.op Add; Asm.push 3; Asm.op Add ];
+         [ Asm.op Dupe ];
+         Asm.output_top;
+         [ Asm.op Dupe ];
+         Asm.store_local 2;
+         (* k := i + prime; while (k <= size) flags[k] := false, k += prime *)
+         [ Asm.op Add ];
+         [ Asm.label "for3" ];
+         [ Asm.op Dupe; Asm.push 6; Asm.op Add; Asm.op Ldz; Asm.op Swap; Asm.op St ];
+         Asm.load_local 2;
+         [ Asm.op Add ];
+         [ Asm.op Dupe; Asm.push 21; Asm.op Less; Asm.bz "endfor3"; Asm.jmp "for3" ];
+         [ Asm.label "endfor3" ];
+         [ Asm.push 5; Asm.op St ];
+         (* count++ *)
+         Asm.load_local 4;
+         [ Asm.push 1; Asm.op Add ];
+         Asm.store_local 4;
+         (* i++; loop until i = size + 1 *)
+         [ Asm.label "inc" ];
+         Asm.load_local 1;
+         [ Asm.push 1; Asm.op Add; Asm.op Dupe ];
+         Asm.store_local 1;
+         [ Asm.push 21; Asm.op Equal; Asm.bz "for2" ];
+         [ Asm.label "halt"; Asm.jmp "halt" ];
+       ])
+
+let sieve_reassembled_cycles = 7000

@@ -1,0 +1,37 @@
+(** Programs written with the assembler (beyond the verbatim Sieve),
+    exercising the recovered instruction set. *)
+
+val countdown : int -> int array
+(** Outputs [n, n-1, ..., 1], then spins. *)
+
+val countdown_cycles : int -> int
+(** Ample cycle budget for [countdown n]. *)
+
+val squares : int -> int array
+(** Outputs [1, 4, 9, ..., n*n] using [MPY], then spins. *)
+
+val squares_cycles : int -> int
+
+val fibonacci : int -> int array
+(** Outputs the first [n] Fibonacci numbers (0, 1, 1, 2, ...). *)
+
+val fibonacci_cycles : int -> int
+
+val gcd : int -> int -> int array
+(** Outputs [gcd a b], computed by repeated subtraction — conditional
+    control flow through the [LESS]/[EQUAL]/[NEG]/[BZ] idioms. *)
+
+val gcd_cycles : int
+
+val sum_of_inputs : int array
+(** Reads integers from input (address 1) until a zero arrives, then outputs
+    their sum: demonstrates memory-mapped {i input}. *)
+
+val sum_of_inputs_cycles : int
+
+val sieve_reassembled : int array
+(** The Sieve of Eratosthenes rewritten in assembler mnemonics.  Produces
+    the same primes as {!Programs.sieve} (the verbatim ROM), validating the
+    recovered ISA against the thesis's own program. *)
+
+val sieve_reassembled_cycles : int

@@ -1,0 +1,132 @@
+type t =
+  | Ldz
+  | Ld0 of int
+  | Ld1 of int
+  | Dupe
+  | And_
+  | Less
+  | Equal
+  | Not_
+  | Neg
+  | Add
+  | Mpy
+  | Ld
+  | St
+  | Bz
+  | Glob
+  | Nop
+  | Ldc of int
+  | Swap
+  | Index
+  | Enter
+  | Exit_
+  | Call
+
+let check_nibble n =
+  if n < 0 || n > 15 then invalid_arg "Isa: nibble operand out of range"
+
+let encode = function
+  | Ldz -> [ 1 ]
+  | Ld0 n ->
+      check_nibble n;
+      [ 2; n ]
+  | Ld1 n ->
+      check_nibble n;
+      [ 3; n ]
+  | Dupe -> [ 4 ]
+  | And_ -> [ 5 ]
+  | Less -> [ 6 ]
+  | Equal -> [ 7 ]
+  | Not_ -> [ 8 ]
+  | Neg -> [ 9 ]
+  | Add -> [ 10 ]
+  | Mpy -> [ 11 ]
+  | Ld -> [ 12 ]
+  | St -> [ 13 ]
+  | Bz -> [ 14 ]
+  | Glob -> [ 15 ]
+  | Nop -> [ 0; 0 ]
+  | Ldc v ->
+      if v < 0 || v > 0xFFFF then invalid_arg "Isa: LDC constant out of range";
+      [ 0; 1; (v lsr 12) land 15; (v lsr 8) land 15; (v lsr 4) land 15; v land 15 ]
+  | Swap -> [ 0; 2 ]
+  | Index -> [ 0; 3 ]
+  | Enter -> [ 0; 4 ]
+  | Exit_ -> [ 0; 5 ]
+  | Call -> [ 0; 6 ]
+
+let size t = List.length (encode t)
+
+let name = function
+  | Ldz -> "ldz"
+  | Ld0 n -> Printf.sprintf "ld0 %d" n
+  | Ld1 n -> Printf.sprintf "ld1 %d" n
+  | Dupe -> "dupe"
+  | And_ -> "and"
+  | Less -> "less"
+  | Equal -> "equal"
+  | Not_ -> "not"
+  | Neg -> "neg"
+  | Add -> "add"
+  | Mpy -> "mpy"
+  | Ld -> "ld"
+  | St -> "st"
+  | Bz -> "bz"
+  | Glob -> "glob"
+  | Nop -> "nop"
+  | Ldc v -> Printf.sprintf "ldc %d" v
+  | Swap -> "swap"
+  | Index -> "index"
+  | Enter -> "enter"
+  | Exit_ -> "exit"
+  | Call -> "call"
+
+let decode program i =
+  let word j = if j < Array.length program then Some (program.(j) land 15) else None in
+  match word i with
+  | None -> None
+  | Some 0 -> (
+      match word (i + 1) with
+      | Some 0 -> Some (Nop, i + 2)
+      | Some 1 -> (
+          match (word (i + 2), word (i + 3), word (i + 4), word (i + 5)) with
+          | Some a, Some b, Some c, Some d ->
+              Some (Ldc ((a lsl 12) lor (b lsl 8) lor (c lsl 4) lor d), i + 6)
+          | _ -> None)
+      | Some 2 -> Some (Swap, i + 2)
+      | Some 3 -> Some (Index, i + 2)
+      | Some 4 -> Some (Enter, i + 2)
+      | Some 5 -> Some (Exit_, i + 2)
+      | Some 6 -> Some (Call, i + 2)
+      | Some _ | None -> None)
+  | Some 1 -> Some (Ldz, i + 1)
+  | Some 2 -> ( match word (i + 1) with Some n -> Some (Ld0 n, i + 2) | None -> None)
+  | Some 3 -> ( match word (i + 1) with Some n -> Some (Ld1 n, i + 2) | None -> None)
+  | Some 4 -> Some (Dupe, i + 1)
+  | Some 5 -> Some (And_, i + 1)
+  | Some 6 -> Some (Less, i + 1)
+  | Some 7 -> Some (Equal, i + 1)
+  | Some 8 -> Some (Not_, i + 1)
+  | Some 9 -> Some (Neg, i + 1)
+  | Some 10 -> Some (Add, i + 1)
+  | Some 11 -> Some (Mpy, i + 1)
+  | Some 12 -> Some (Ld, i + 1)
+  | Some 13 -> Some (St, i + 1)
+  | Some 14 -> Some (Bz, i + 1)
+  | Some 15 -> Some (Glob, i + 1)
+  | Some _ -> None
+
+let disassemble program =
+  let buf = Buffer.create 512 in
+  let rec go i =
+    if i < Array.length program then
+      match decode program i with
+      | Some (op, next) ->
+          Buffer.add_string buf (Printf.sprintf "%4d: %s\n" i (name op));
+          go next
+      | None ->
+          Buffer.add_string buf (Printf.sprintf "%4d: .word %d\n" i program.(i));
+          go (i + 1)
+  in
+  go 0;
+  Buffer.contents buf

@@ -1,0 +1,83 @@
+(** Instruction set of the Itty Bitty Stack Machine.
+
+    Program words are small integers whose low four bits select the
+    operation; word 0 is an escape prefix giving a second page of
+    operations.  The encoding and semantics below were recovered from the
+    microcode (Appendix E) and validated against the Sieve program:
+
+    Single-word operations (low nibble):
+    - 1 [LDZ]: push 0
+    - 2 [LD0 n]: push the next word's low nibble (constants 0..15)
+    - 3 [LD1 n]: push 16 + next word's low nibble (constants 16..31)
+    - 4 [DUPE]: push a copy of the top of stack
+    - 5 [AND], 6 [LESS], 7 [EQUAL], 10 [ADD], 11 [MPY]: pop the top [a] and
+      the value [b] below it, push [b OP a].  The comparisons push the
+      all-ones truth value -1 when true (the microcode routes the ALU's 1
+      through the negate unit), 0 when false — which is why compiled code
+      branches with the [NEG]-then-[BZ] idiom
+    - 8 [NOT], 9 [NEG]: replace top of stack
+    - 12 [LD]: pop a frame offset, push [ram[fp + offset]]
+    - 13 [ST]: pop a frame offset, pop a value, store it at [fp + offset]
+      (offsets with bit 12 set are memory-mapped I/O)
+    - 14 [BZ]: pop an offset, pop a condition; when the condition is zero,
+      [pc := pc + 1 + offset] (the offset may be negative via [NEG])
+    - 15 [GLOB]: global (non-frame) addressing prefix
+
+    - 15 [GLOB]: global addressing — top := top − fp, converting an
+      absolute address into the frame-relative form [LD]/[ST] expect
+
+    Escaped operations (word 0, then a second word's low nibble):
+    - 0 [NOP]
+    - 1 [LDC n]: push a 16-bit constant from the following four words'
+      nibbles, most significant first
+    - 2 [SWAP]
+    - 3 [INDEX]: pop the index [a]; store [b + a] at frame offset [a]
+      (where [b] is the value below), keeping [b] on the stack —
+      behaviour recovered by probing the microcode
+    - 4 [ENTER]: the frame size on top of the stack is replaced by the
+      saved fp; fp := sp, sp := sp + size (locals live at [fp+1 ..])
+    - 5 [EXIT]: deallocate the frame — sp := fp, fp := saved fp, pop the
+      base slot.  No return jump: the microcode never reloads pc.
+    - 6 [CALL]: the word following the CALL pair is skipped, and the
+      address after it (the resume point) replaces the top of stack; the
+      jump to the callee is never performed by the control unit — the
+      operation was evidently left unfinished in the original microcode *)
+
+type t =
+  | Ldz
+  | Ld0 of int  (** 0..15 *)
+  | Ld1 of int  (** 0..15, pushes 16+n *)
+  | Dupe
+  | And_
+  | Less
+  | Equal
+  | Not_
+  | Neg
+  | Add
+  | Mpy
+  | Ld
+  | St
+  | Bz
+  | Glob
+  | Nop
+  | Ldc of int  (** 0..65535 *)
+  | Swap
+  | Index
+  | Enter
+  | Exit_
+  | Call
+
+val encode : t -> int list
+(** Program words for one operation. *)
+
+val size : t -> int
+(** [List.length (encode t)]. *)
+
+val name : t -> string
+
+val decode : int array -> int -> (t * int) option
+(** [decode program i] reads the operation at index [i] and returns it with
+    the index just past it; [None] on a malformed or truncated encoding. *)
+
+val disassemble : int array -> string
+(** Whole-program listing, one operation per line with its address. *)

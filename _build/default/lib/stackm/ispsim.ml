@@ -1,0 +1,215 @@
+open Asim_core
+open Asim_sim
+
+let output_address = 4096
+
+type t = {
+  program : int array;
+  ram : int array;
+  io : Io.handler;
+  mutable pc : int;
+  mutable sp : int;  (** index of the top of stack; slot 0 is reserved *)
+  mutable fp : int;
+  mutable executed : int;
+  mutable last_spin : (int * int) option;
+      (** (branch target, sp) of the last taken branch, for halt detection *)
+  mutable effect_since_branch : bool;
+      (** did a store or I/O happen since the last taken branch? *)
+  mutable halted : bool;
+}
+
+let create ?(io = Io.null) program =
+  {
+    program = Array.copy program;
+    ram = Array.make 4096 0;
+    io;
+    pc = 0;
+    sp = 0;
+    fp = 0;
+    executed = 0;
+    last_spin = None;
+    effect_since_branch = true;
+    halted = false;
+  }
+
+let pc t = t.pc
+
+let instructions_executed t = t.executed
+
+let stack t = List.init t.sp (fun i -> t.ram.(t.sp - i))
+
+let peek t i = t.ram.(i)
+
+let sp t = t.sp
+
+let fp t = t.fp
+
+let push t v =
+  t.sp <- t.sp + 1;
+  t.ram.(t.sp) <- v
+
+let pop t =
+  let v = t.ram.(t.sp) in
+  t.sp <- t.sp - 1;
+  v
+
+(* Effective data address of a frame offset: local [k] lives at
+   [fp + k]; when bit 12 of the sum is set the access is memory-mapped
+   I/O at device [(fp + k) land 4095]. *)
+let resolve t offset = t.fp + offset
+
+let binary t f =
+  let a = pop t in
+  let b = pop t in
+  push t (f b a)
+
+let step t =
+  if t.halted then false
+  else
+    match Isa.decode t.program t.pc with
+    | None -> false
+    | Some (op, next) -> (
+        t.pc <- next;
+        t.executed <- t.executed + 1;
+        match op with
+        | Isa.Nop -> true
+        | Isa.Ldz ->
+            push t 0;
+            true
+        | Isa.Ld0 n ->
+            push t n;
+            true
+        | Isa.Ld1 n ->
+            push t (16 + n);
+            true
+        | Isa.Ldc v ->
+            push t v;
+            true
+        | Isa.Dupe ->
+            let a = pop t in
+            push t a;
+            push t a;
+            true
+        | Isa.Swap ->
+            let a = pop t in
+            let b = pop t in
+            push t a;
+            push t b;
+            true
+        | Isa.Add ->
+            binary t ( + );
+            true
+        | Isa.Mpy ->
+            binary t ( * );
+            true
+        | Isa.And_ ->
+            binary t ( land );
+            true
+        | Isa.Less ->
+            binary t (fun b a -> if b < a then -1 else 0);
+            true
+        | Isa.Equal ->
+            binary t (fun b a -> if b = a then -1 else 0);
+            true
+        | Isa.Neg ->
+            push t (-pop t);
+            true
+        | Isa.Not_ ->
+            push t (Bits.mask - pop t);
+            true
+        | Isa.Ld ->
+            let offset = pop t in
+            let address = resolve t offset in
+            if address land output_address <> 0 then begin
+              push t (t.io.Io.input ~address:(address land 4095));
+              t.effect_since_branch <- true
+            end
+            else push t t.ram.(address land 4095);
+            true
+        | Isa.St ->
+            let offset = pop t in
+            let value = pop t in
+            let address = resolve t offset in
+            if address land output_address <> 0 then
+              t.io.Io.output ~address:(address land 4095) ~data:value
+            else t.ram.(address land 4095) <- value;
+            t.effect_since_branch <- true;
+            true
+        | Isa.Bz ->
+            let offset = pop t in
+            let cond = pop t in
+            if cond = 0 then begin
+              let target = t.pc + offset in
+              (* A taken branch landing where the previous one landed, with
+                 the same stack depth and no store or I/O in between, is a
+                 pure spin — the halt idiom. *)
+              (match t.last_spin with
+              | Some (prev_target, prev_sp)
+                when prev_target = target && prev_sp = t.sp
+                     && not t.effect_since_branch ->
+                  t.halted <- true
+              | _ -> ());
+              t.last_spin <- Some (target, t.sp);
+              t.effect_since_branch <- false;
+              t.pc <- target
+            end;
+            true
+        | Isa.Enter ->
+            (* The frame size on top of the stack is replaced in place by
+               the saved frame pointer; locals occupy [fp+1 .. fp+size]. *)
+            let size = t.ram.(t.sp) in
+            t.ram.(t.sp) <- t.fp;
+            t.fp <- t.sp;
+            t.sp <- t.sp + size;
+            t.effect_since_branch <- true;
+            true
+        | Isa.Glob ->
+            (* global addressing: convert an absolute address to the frame-
+               relative form LD/ST expect by pre-subtracting fp *)
+            t.ram.(t.sp) <- t.ram.(t.sp) - t.fp;
+            true
+        | Isa.Index ->
+            (* observed microcode behaviour: pop the index a, store b+a at
+               frame offset a, keep b on the stack *)
+            let a = pop t in
+            let b = t.ram.(t.sp) in
+            let address = resolve t a in
+            if address land output_address <> 0 then
+              t.io.Io.output ~address:(address land 4095) ~data:(b + a)
+            else t.ram.(address land 4095) <- b + a;
+            t.effect_since_branch <- true;
+            true
+        | Isa.Call ->
+            (* the return address replaces the top of stack; the microcode
+               increments pc once more before the write (the word after the
+               CALL is evidently reserved for the jump itself, which the
+               control unit never performs) *)
+            t.ram.(t.sp) <- t.pc + 1;
+            t.pc <- t.pc + 1;
+            t.effect_since_branch <- true;
+            true
+        | Isa.Exit_ ->
+            (* deallocate the frame: sp <- fp, restore the saved fp, then
+               pop the frame base slot *)
+            t.sp <- t.fp;
+            t.fp <- t.ram.(t.sp);
+            t.sp <- t.sp - 1;
+            t.effect_since_branch <- true;
+            true)
+
+let run ?(max_instructions = 100_000) t =
+  let start = t.executed in
+  let rec go () =
+    if t.executed - start >= max_instructions then ()
+    else if step t then go ()
+  in
+  go ();
+  t.executed - start
+
+let run_collect_outputs ?max_instructions program =
+  let io, events = Io.recording () in
+  let t = create ~io program in
+  ignore (run ?max_instructions t);
+  List.filter_map
+    (function Io.Output { data; _ } -> Some data | Io.Input _ -> None)
+    (events ())

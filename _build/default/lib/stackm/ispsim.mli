@@ -1,0 +1,52 @@
+(** Instruction-set-level simulator of the stack machine.
+
+    The thesis places ISP simulation one abstraction level above the RTL
+    (§1.2, §2.2.4): "After the instruction set has been generated and
+    tested, it can be converted to an RTL for further testing."  This module
+    is that upper level for the Itty Bitty Stack Machine: it executes
+    {!Isa.t} operations directly against an abstract machine state (program
+    counter, stack, frame pointer, 4096-word data memory, memory-mapped
+    I/O), with no microcode, states, or cycle accounting.
+
+    Its purpose is cross-level validation in the style the thesis attributes
+    to ADLIB (§2.1.5): "a system can be described at the behavior level and
+    also at the structure level.  Both simulation results can then be
+    compared to assure the designer of similar descriptions."  The test
+    suite runs the same programs here and on the microcoded RTL machine and
+    requires identical output streams. *)
+
+type t
+
+val create : ?io:Asim_sim.Io.handler -> int array -> t
+(** A fresh machine loaded with the program image. *)
+
+val step : t -> bool
+(** Execute one instruction.  Returns [false] when the machine cannot
+    proceed (pc past the program, malformed encoding, or an unimplemented
+    operation), [true] otherwise. *)
+
+val run : ?max_instructions:int -> t -> int
+(** Step until stuck, a tight self-loop (halt idiom), or the instruction
+    budget (default 100_000) runs out; returns instructions executed. *)
+
+val pc : t -> int
+
+val stack : t -> int list
+(** Current stack, top first. *)
+
+val peek : t -> int -> int
+(** RAM cell contents (locals, frames, stack slots). *)
+
+val sp : t -> int
+
+val fp : t -> int
+
+val instructions_executed : t -> int
+
+val run_collect_outputs : ?max_instructions:int -> int array -> int list
+(** Convenience mirror of {!Programs.run_collect_outputs}: run the image
+    quietly and return the output-event data in order. *)
+
+val output_address : int
+(** Frame offsets at or above this value (4096) are memory-mapped I/O,
+    matching the RTL machine. *)

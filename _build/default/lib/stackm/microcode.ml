@@ -1,0 +1,139 @@
+open Asim_core
+
+(* Tables transcribed from Appendix E (the generated Pascal simulator). *)
+
+let rom_table =
+  [|
+    4184; 256; 256; 256; 288; 256; 256; 256; 296; 256; 143; 1536; 256; 150;
+    8326; 576; 256; 256; 396; 16; 320; 2182; 1792; 320; 320; 0; 0; 0; 0; 0; 0;
+    4164; 0; 132; 196; 196; 132; 134; 134; 134; 256; 256; 134; 134; 32; 134;
+    134; 256; 0; 196; 134; 134; 2437; 131; 64; 0; 0; 0; 0; 0; 0; 0; 0; 0;
+  |]
+
+let parm_table =
+  [|
+    0; 0; 387; 160; 25; 0; 224; 6; 9; 192; 11; 0; 0; 4; 15; 25; 416; 432; 9; 8;
+    433; 10; 96; 436; 407; 0; 18; 14; 13; 7; 5; 0; 31; 1; 2; 2; 12; 30; 29; 29;
+    0; 224; 30; 30; 12; 28; 27; 32; 0; 24; 26; 19; 64; 21; 22; 0; 0; 0; 0; 0;
+    0; 0; 0; 0;
+  |]
+
+(* Opcode -> ALU function (Appendix D decode ROM): LD0 passes, LD1 adds,
+   AND=8, LESS=13, EQUAL=12, NOT=3, ADD=4, MPY=7, LD=2, ST=1, BZ=12,
+   GLOB=5. *)
+let op_table = [| 0; 0; 1; 4; 1; 8; 13; 12; 3; 0; 4; 7; 2; 1; 12; 5 |]
+
+let output_address = 4096
+
+let num v = [ Expr.num v ]
+
+let bit name i = [ Expr.ref_bit name i ]
+
+let whole name = [ Expr.ref_ name ]
+
+let alu name fn left right = { Component.name; kind = Component.Alu { fn; left; right } }
+
+let sel name select cases =
+  { Component.name; kind = Component.Selector { select; cases = Array.of_list cases } }
+
+let mem name addr data op cells init =
+  { Component.name; kind = Component.Memory { addr; data; op; cells; init } }
+
+let table_selector name select values =
+  sel name select (List.map num (Array.to_list values))
+
+let components ~program =
+  if Array.length program > 4095 then invalid_arg "Microcode.components: program too large";
+  let e = Expr.of_atoms in
+  [
+    (* Control ROMs: 64-way selectors on the state register. *)
+    table_selector "rom" (e [ Expr.ref_range "state" 0 5 ]) rom_table;
+    table_selector "parm" (e [ Expr.ref_range "state" 0 5 ]) parm_table;
+    (* Condition unit: compare RAM output with rom bit 8 scaled by 16;
+       function is 12 (=) or 13 (<) depending on that same rom bit. *)
+    alu "exit"
+      (e [ Expr.bits "110"; Expr.ref_bit "rom" 8 ])
+      (whole "ram")
+      (e [ Expr.ref_bit "rom" 8; Expr.bits "000000000000" ]);
+    (* Next state: from parm, or 32 + 16*rom.2 + opcode nibble of prog. *)
+    sel "newst"
+      (e [ Expr.ref_range "rom" 12 13; Expr.ref_bit "exit" 0 ])
+      [
+        e [ Expr.ref_range "parm" 0 4 ];
+        e [ Expr.ref_range "parm" 0 4 ];
+        e [ Expr.bits "1"; Expr.ref_bit "rom" 2; Expr.ref_range "prog" 0 3 ];
+        e [ Expr.bits "1"; Expr.ref_bit "rom" 2; Expr.ref_range "prog" 0 3 ];
+        num 0;
+        e [ Expr.ref_range "parm" 0 4 ];
+        num 0;
+        e [ Expr.bits "1"; Expr.ref_bit "rom" 2; Expr.ref_range "prog" 0 3 ];
+      ];
+    (* Program counter path. *)
+    sel "relpc" (bit "rom" 10) [ whole "pc"; num 0 ];
+    sel "offset" (bit "rom" 9) [ num 1; whole "left" ];
+    alu "newpc" (e [ Expr.bits "100" ]) (whole "relpc") (whole "offset");
+    (* Stack pointer push/pop. *)
+    sel "psp"
+      (e [ Expr.ref_range "rom" 0 2 ])
+      [ num 0; num 0; num 0; whole "fp"; num 1; whole "left"; num 1; whole "right" ];
+    alu "pushpop"
+      (e [ Expr.ref_bit "rom" 2; Expr.bits "0"; Expr.ref_bit "rom" 1 ])
+      (whole "sp") (whole "psp");
+    (* Frame pointer. *)
+    sel "selfp" (bit "ir" 0) [ whole "sp"; whole "ram" ];
+    alu "afp" (e [ Expr.bits "100" ]) (whole "fp") (whole "left");
+    sel "addr" (bit "rom" 5) [ whole "sp"; whole "afp" ];
+    (* Data path. *)
+    alu "neg" (e [ Expr.bits "101" ]) (num 0) (whole "ram");
+    table_selector "op" (e [ Expr.ref_range "ir" 0 3 ]) op_table;
+    sel "selr" (bit "parm" 5) [ whole "right"; whole "fp" ];
+    alu "alu" (whole "op") (whole "ram") (whole "selr");
+    sel "write"
+      (e [ Expr.ref_range "parm" 5 7 ])
+      [
+        whole "alu";
+        whole "alu";
+        whole "fp";
+        whole "pc";
+        bit "ir" 0;
+        e [ Expr.ref_range "ram" 0 11; Expr.ref_range "data" 0 3 ];
+        whole "left";
+        whole "neg";
+      ];
+    (* Registers (1-cell memories) and RAMs. *)
+    mem "state" (num 0) (whole "newst") (num 1) 1 None;
+    mem "pc" (num 0) (whole "newpc") (bit "rom" 6) 1 None;
+    mem "sp" (num 0) (whole "pushpop") (bit "rom" 7) 1 None;
+    mem "fp" (num 0) (whole "selfp") (bit "rom" 11) 1 None;
+    mem "left" (num 0) (whole "ram") (bit "rom" 3) 1 None;
+    mem "right" (num 0) (whole "ram") (bit "rom" 4) 1 None;
+    mem "ir" (num 0) (whole "prog") (bit "rom" 12) 1 None;
+    mem "data" (num 0) (whole "prog") (bit "parm" 8) 1 None;
+    mem "ram"
+      (e [ Expr.ref_range "addr" 0 11 ])
+      (whole "write")
+      (e [ Expr.ref_bit "addr" 12; Expr.ref_bit "rom" 8 ])
+      4096 None;
+    (* Four zero words of headroom: the control unit prefetches past a
+       branch before redirecting, exactly like the thesis's own image, which
+       ends in spare zeros. *)
+    (let cells = Array.length program + 4 in
+     mem "prog" (whole "pc") (num 0) (num 0) cells
+       (Some (Array.init cells (fun i -> if i < Array.length program then program.(i) else 0))));
+  ]
+
+let component_names =
+  [
+    "rom"; "parm"; "exit"; "newst"; "relpc"; "offset"; "newpc"; "psp";
+    "pushpop"; "selfp"; "afp"; "addr"; "neg"; "op"; "selr"; "alu"; "write";
+    "state"; "pc"; "sp"; "fp"; "left"; "right"; "ir"; "data"; "ram"; "prog";
+  ]
+
+let spec ?(traced = []) ?cycles ~program () =
+  let decls =
+    List.map
+      (fun name -> { Spec.name; traced = List.mem name traced })
+      component_names
+  in
+  Spec.make ~comment:" Itty Bitty Stack Machine Simulator Specification" ?cycles
+    ~decls (components ~program)

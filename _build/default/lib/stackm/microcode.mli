@@ -1,0 +1,45 @@
+(** The Itty Bitty Stack Machine (Appendix D/E).
+
+    A microcoded stack computer described entirely with the three ASIM II
+    primitives: a 64-state control unit (two selector ROMs, [rom] for control
+    bits and [parm] for next-state/write parameters), a data path (ALU,
+    negate unit, stack pointer push/pop adder, frame-pointer logic), a 4096-
+    word stack RAM with memory-mapped I/O on address bit 12, and a 133-word
+    program ROM.  The tables below are transcribed from the generated Pascal
+    simulator in Appendix E (the clean, compiled image of the hand-written
+    specification in Appendix D). *)
+
+val rom_table : int array
+(** Control ROM, indexed by state (64 entries).  Bit assignments (macros of
+    Appendix D): 0 [~v] load-fp-select, 1 [~o] pop, 2 [~z] sp adds (vs
+    loads) and next-state offset, 3 [~l] load left, 4 [~r] load right,
+    5 [~y] frame addressing, 6 [~i] pc update, 7 [~p] sp update, 8 [~w] ram
+    write / condition select, 9 [~g] goto, 10 [~a] absolute, 11 [~f] fp
+    update, 12 [~s] instruction fetch / escape, 13 [~x] condition test. *)
+
+val parm_table : int array
+(** Parameter ROM, indexed by state: bits 0-4 next state, bits 5-7 write-data
+    select, bit 8 data-register load. *)
+
+val op_table : int array
+(** Opcode → ALU function (16 entries), from the Appendix D decode ROM. *)
+
+val components : program:int array -> Asim_core.Component.t list
+(** The full component list; [program] (at most 4095 words) initializes the
+    program ROM. *)
+
+val spec :
+  ?traced:string list ->
+  ?cycles:int ->
+  program:int array ->
+  unit ->
+  Asim_core.Spec.t
+(** Complete specification.  [traced] defaults to none; pass e.g.
+    [["state"; "pc"; "ir"]] for a per-cycle trace. *)
+
+val component_names : string list
+(** All component names, in the declaration order used by [spec]. *)
+
+val output_address : int
+(** RAM addresses at or above this value (bit 12 set) are memory-mapped
+    I/O: stores become output events, loads become input events. *)

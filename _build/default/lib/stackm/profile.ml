@@ -1,0 +1,107 @@
+let opcode_mnemonics =
+  [| "esc"; "ldz"; "ld0"; "ld1"; "dupe"; "and"; "less"; "equal"; "not"; "neg";
+     "add"; "mpy"; "ld"; "st"; "bz"; "glob" |]
+
+let escaped_mnemonics = [| "nop"; "ldc"; "swap"; "index"; "enter"; "exit"; "call" |]
+
+(* Labels follow the Appendix D decode-ROM comments; states 0x21-0x2F and
+   0x30-0x36 are the per-instruction entry points. *)
+let state_label state =
+  match state land 63 with
+  | 0 -> "fetch"
+  | 1 -> "ldz"
+  | 2 | 3 -> "push-immediate"
+  | 4 -> "st"
+  | 5 -> "not"
+  | 6 -> "neg"
+  | 7 -> "alu-result"
+  | 8 -> "index"
+  | 9 -> "swap"
+  | 10 -> "exit"
+  | 12 -> "ld"
+  | 13 -> "st"
+  | 14 -> "bz"
+  | 16 | 17 | 20 | 23 | 24 -> "ldc"
+  | 18 -> "swap"
+  | 19 -> "index"
+  | 21 -> "exit"
+  | 22 -> "call"
+  | s when s >= 25 && s <= 30 -> "interim"
+  | 31 -> "escape-fetch"
+  | 32 -> "escape"
+  | s when s >= 33 && s <= 47 -> opcode_mnemonics.(s - 32)
+  | s when s >= 48 && s <= 54 -> escaped_mnemonics.(s - 48)
+  | s -> Printf.sprintf "state-%d" s
+
+type report = {
+  cycles : int;
+  instructions : int;
+  state_occupancy : (int * int) list;
+  label_occupancy : (string * int) list;
+  instruction_mix : (string * int) list;
+}
+
+let is_dispatch state = (state >= 33 && state <= 47) || (state >= 48 && state <= 54)
+
+let dispatch_mnemonic state =
+  if state <= 47 then opcode_mnemonics.(state - 32) else escaped_mnemonics.(state - 48)
+
+let analyze ?(engine = `Compiled) ~cycles program =
+  let spec = Microcode.spec ~program () in
+  let analysis = Asim_analysis.Analysis.analyze spec in
+  let machine =
+    match engine with
+    | `Interp -> Asim_interp.Interp.create ~config:Asim_sim.Machine.quiet_config analysis
+    | `Compiled ->
+        Asim_compile.Compile.create ~config:Asim_sim.Machine.quiet_config analysis
+  in
+  let per_state = Array.make 64 0 in
+  let mix = Hashtbl.create 32 in
+  let instructions = ref 0 in
+  for _ = 1 to cycles do
+    (* Attribute the state the control unit occupied during this cycle:
+       step () latches the next state, so sample before stepping. *)
+    let state = machine.Asim_sim.Machine.read "state" land 63 in
+    per_state.(state) <- per_state.(state) + 1;
+    if is_dispatch state then begin
+      incr instructions;
+      let m = dispatch_mnemonic state in
+      Hashtbl.replace mix m (1 + try Hashtbl.find mix m with Not_found -> 0)
+    end;
+    machine.Asim_sim.Machine.step ()
+  done;
+  let by_count l = List.sort (fun (_, a) (_, b) -> compare b a) l in
+  let state_occupancy =
+    Array.to_list (Array.mapi (fun s n -> (s, n)) per_state)
+    |> List.filter (fun (_, n) -> n > 0)
+    |> by_count
+  in
+  let labels = Hashtbl.create 32 in
+  List.iter
+    (fun (s, n) ->
+      let l = state_label s in
+      Hashtbl.replace labels l (n + try Hashtbl.find labels l with Not_found -> 0))
+    state_occupancy;
+  let label_occupancy = by_count (Hashtbl.fold (fun l n acc -> (l, n) :: acc) labels []) in
+  let instruction_mix = by_count (Hashtbl.fold (fun m n acc -> (m, n) :: acc) mix []) in
+  { cycles; instructions = !instructions; state_occupancy; label_occupancy;
+    instruction_mix }
+
+let to_string r =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%d cycles, %d instructions dispatched (CPI %.2f)\n" r.cycles
+       r.instructions
+       (float_of_int r.cycles /. float_of_int (max 1 r.instructions)));
+  Buffer.add_string buf "\ninstruction mix:\n";
+  List.iter
+    (fun (m, n) -> Buffer.add_string buf (Printf.sprintf "  %-8s %6d\n" m n))
+    r.instruction_mix;
+  Buffer.add_string buf "\ncycles by micro-sequence:\n";
+  List.iter
+    (fun (l, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %-16s %6d  %5.1f%%\n" l n
+           (100. *. float_of_int n /. float_of_int (max 1 r.cycles))))
+    r.label_occupancy;
+  Buffer.contents buf

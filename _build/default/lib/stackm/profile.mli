@@ -1,0 +1,27 @@
+(** Microarchitectural analysis of the stack machine.
+
+    The control unit spends every cycle in one of 64 states; attributing
+    cycles to states — and states to the instructions that own them —
+    recovers the machine's timing behaviour, "information not available via
+    an ISP" (§1.3).  State labels follow the comments in the Appendix D
+    decode ROM. *)
+
+val state_label : int -> string
+(** Human name of a control state: ["fetch"], ["escape"], an instruction
+    mnemonic like ["add"], a shared micro-sequence like ["push-immediate"],
+    or ["state-NN"] for the unused states. *)
+
+type report = {
+  cycles : int;  (** cycles simulated *)
+  instructions : int;  (** instructions dispatched (entries into opcode states) *)
+  state_occupancy : (int * int) list;  (** state → cycles, busiest first *)
+  label_occupancy : (string * int) list;  (** label → cycles, busiest first *)
+  instruction_mix : (string * int) list;
+      (** mnemonic → dispatch count, most frequent first *)
+}
+
+val analyze : ?engine:[ `Interp | `Compiled ] -> cycles:int -> int array -> report
+(** Run the program image quietly and attribute every cycle. *)
+
+val to_string : report -> string
+(** Multi-line report: instruction mix, cycles per label, CPI. *)

@@ -1,0 +1,31 @@
+open Asim_sim
+
+(* Appendix E, procedure initvalues: ljbprog[0..132]. *)
+let sieve =
+  [|
+    0; 0; 3; 10; 0; 4; 1; 2; 4; 13; 2; 5; 2; 1; 10; 4; 2; 1; 0; 2; 13; 4; 3;
+    10; 7; 3; 1; 9; 14; 2; 5; 13; 1; 2; 1; 13; 2; 1; 12; 2; 6; 10; 12; 0; 1;
+    0; 0; 3; 10; 14; 2; 1; 12; 4; 4; 10; 2; 3; 10; 4; 0; 1; 1; 0; 0; 0; 13; 4;
+    2; 2; 13; 10; 4; 2; 6; 10; 1; 0; 2; 13; 2; 2; 12; 10; 4; 3; 5; 6; 2; 5;
+    14; 1; 3; 8; 9; 14; 2; 5; 13; 2; 4; 12; 2; 1; 10; 2; 4; 13; 2; 1; 12; 2;
+    1; 10; 4; 2; 1; 13; 3; 5; 7; 0; 1; 0; 0; 5; 13; 9; 14; 0; 0; 0; 0;
+  |]
+
+let sieve_cycles = 5545
+
+let sieve_expected_primes = [ 3; 5; 7; 11; 13; 17; 19; 23; 29; 31; 37; 41; 43 ]
+
+let run_collect_outputs ?(engine = `Compiled) ?(cycles = sieve_cycles) program =
+  let spec = Microcode.spec ~cycles ~program () in
+  let analysis = Asim_analysis.Analysis.analyze spec in
+  let io, events = Io.recording () in
+  let config = { Machine.quiet_config with io } in
+  let machine =
+    match engine with
+    | `Interp -> Asim_interp.Interp.create ~config analysis
+    | `Compiled -> Asim_compile.Compile.create ~config analysis
+  in
+  Machine.run machine ~cycles;
+  List.filter_map
+    (function Io.Output { data; _ } -> Some data | Io.Input _ -> None)
+    (events ())

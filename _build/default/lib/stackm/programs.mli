@@ -1,0 +1,22 @@
+(** Canned stack machine programs. *)
+
+val sieve : int array
+(** The Sieve of Eratosthenes (Appendix D/E): 133 program-ROM words,
+    transcribed verbatim from the generated simulator's [initvalues].
+    Running it for {!sieve_cycles} cycles emits the primes below 45 as
+    memory-mapped output stores. *)
+
+val sieve_cycles : int
+(** 5545 — "the maximum number of cycles allowable in this specification of
+    the stack machine" (§5.2), the Figure 5.1 workload length. *)
+
+val sieve_expected_primes : int list
+(** [3; 5; 7; ...; 43] — what the run must output. *)
+
+val run_collect_outputs :
+  ?engine:[ `Interp | `Compiled ] ->
+  ?cycles:int ->
+  int array ->
+  int list
+(** Assemble a machine around the given program ROM, run it quietly, and
+    return the data values of its output events in order. *)

@@ -1,0 +1,1 @@
+lib/syntax/lexer.ml: Asim_core Buffer Error List String

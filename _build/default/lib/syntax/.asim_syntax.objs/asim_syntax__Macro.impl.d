@@ -1,0 +1,1 @@
+lib/syntax/macro.ml: Asim_core Buffer Error Lexer List Spec String

@@ -1,0 +1,1 @@
+lib/syntax/modular.ml: Array Asim_core Component Error Expr List Spec

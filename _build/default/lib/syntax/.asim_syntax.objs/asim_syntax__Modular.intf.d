@@ -1,0 +1,1 @@
+lib/syntax/modular.mli: Asim_core

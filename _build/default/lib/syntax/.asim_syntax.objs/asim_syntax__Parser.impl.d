@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Array Asim_core Component Error Expr Hashtbl Lexer List Macro Modular Number Spec String

@@ -1,0 +1,76 @@
+open Asim_core
+
+type token = { text : string; pos : Error.position }
+
+let is_whitespace c = c = ' ' || c = '\t' || c = '\r' || c = '\n'
+
+let tokenize source =
+  let len = String.length source in
+  (* First line must be a [#] comment; it is echoed into generated code. *)
+  if len = 0 || source.[0] <> '#' then
+    Error.fail ~position:{ line = 1; column = 1 } Error.Lexing "Comment required."
+  else
+    let line_end =
+      match String.index_opt source '\n' with Some i -> i | None -> len
+    in
+    let comment = String.sub source 1 (line_end - 1) in
+    let tokens = ref [] in
+    let line = ref 2 and column = ref 1 in
+    let buf = Buffer.create 32 in
+    let token_pos = ref { Error.line = 0; column = 0 } in
+    let flush () =
+      if Buffer.length buf > 0 then begin
+        let text = Buffer.contents buf in
+        Buffer.clear buf;
+        (* Split a trailing period off multi-character tokens, as the
+           paper's [gettoken] does, so ["4096."] reads as two tokens. *)
+        let n = String.length text in
+        if n > 1 && text.[n - 1] = '.' then begin
+          tokens := { text = String.sub text 0 (n - 1); pos = !token_pos } :: !tokens;
+          tokens :=
+            { text = "."; pos = { !token_pos with column = !token_pos.column + n - 1 } }
+            :: !tokens
+        end
+        else tokens := { text; pos = !token_pos } :: !tokens
+      end
+    in
+    let advance c =
+      if c = '\n' then begin
+        incr line;
+        column := 1
+      end
+      else incr column
+    in
+    let i = ref (if line_end < len then line_end + 1 else len) in
+    while !i < len do
+      let c = source.[!i] in
+      if c = '{' then begin
+        flush ();
+        let start = { Error.line = !line; column = !column } in
+        advance c;
+        incr i;
+        let rec skip () =
+          if !i >= len then
+            Error.fail ~position:start Error.Lexing "unterminated { comment"
+          else
+            let c = source.[!i] in
+            advance c;
+            incr i;
+            if c <> '}' then skip ()
+        in
+        skip ()
+      end
+      else if is_whitespace c then begin
+        flush ();
+        advance c;
+        incr i
+      end
+      else begin
+        if Buffer.length buf = 0 then token_pos := { Error.line = !line; column = !column };
+        Buffer.add_char buf c;
+        advance c;
+        incr i
+      end
+    done;
+    flush ();
+    (comment, List.rev !tokens)

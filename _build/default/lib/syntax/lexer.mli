@@ -1,0 +1,18 @@
+(** Tokenizer for ASIM II specification files.
+
+    The format (Appendix A): the first line is a mandatory [#] comment;
+    afterwards the file is a stream of whitespace-delimited tokens, with
+    [{ ... }] comments (not nested) acting as whitespace.  A token whose last
+    character is [.] is split into the token proper and a standalone [.], so
+    the terminating period of a list may abut the preceding field. *)
+
+type token = {
+  text : string;
+  pos : Asim_core.Error.position;  (** position of the token's first char *)
+}
+
+val tokenize : string -> string * token list
+(** [tokenize source] returns the first-line comment (with the leading [#]
+    stripped) and the token stream of the remainder.  Raises
+    {!Asim_core.Error.Error} (phase [Lexing]) when the comment line is
+    missing or a [{] comment is unterminated. *)

@@ -1,0 +1,62 @@
+open Asim_core
+
+type table = (string * string) list
+(* Most recent definition first. *)
+
+let empty : table = []
+
+let definitions t = List.rev t
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let expand_text t ~pos text =
+  let buf = Buffer.create (String.length text) in
+  let len = String.length text in
+  let i = ref 0 in
+  while !i < len do
+    if text.[!i] = '~' then begin
+      let start = !i + 1 in
+      let stop = ref start in
+      while !stop < len && is_name_char text.[!stop] do
+        incr stop
+      done;
+      let name = String.sub text start (!stop - start) in
+      (match List.assoc_opt name t with
+      | Some body -> Buffer.add_string buf body
+      | None -> Error.failf ~position:pos Error.Parsing "Macro <%s> not defined." name);
+      i := !stop
+    end
+    else begin
+      Buffer.add_char buf text.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents buf
+
+let is_definition_marker text =
+  String.length text > 1 && (text.[0] = '~' || text.[0] = '-')
+
+let consume tokens =
+  let rec go table = function
+    | { Lexer.text; pos } :: body :: rest when is_definition_marker text ->
+        let name = String.sub text 1 (String.length text - 1) in
+        if not (Spec.is_valid_name name) then
+          Error.failf ~position:pos Error.Parsing
+            "macro name %s invalid, use letters and numbers only." name;
+        if List.mem_assoc name table then
+          Error.failf ~position:pos Error.Parsing "macro %s defined twice" name;
+        let body = expand_text table ~pos:body.Lexer.pos body.Lexer.text in
+        go ((name, body) :: table) rest
+    | [ { Lexer.text; pos } ] when is_definition_marker text ->
+        Error.failf ~position:pos Error.Parsing "macro %s has no body" text
+    | rest -> (table, rest)
+  in
+  go [] tokens
+
+let expand t tokens =
+  List.map
+    (fun ({ Lexer.text; pos } as tok) ->
+      if String.contains text '~' then { tok with Lexer.text = expand_text t ~pos text }
+      else tok)
+    tokens

@@ -1,0 +1,83 @@
+open Asim_core
+
+type def = {
+  def_name : string;
+  ports : string list;
+  body : Component.t list;
+}
+
+let internal_names def = List.map (fun (c : Component.t) -> c.name) def.body
+
+let validate_def def =
+  let fail fmt = Error.failf ~component:def.def_name Error.Parsing fmt in
+  if not (Spec.is_valid_name def.def_name) then
+    fail "module name %s invalid" def.def_name;
+  List.iter
+    (fun p -> if not (Spec.is_valid_name p) then fail "port name %s invalid" p)
+    def.ports;
+  let rec dup = function
+    | [] -> ()
+    | p :: rest -> if List.mem p rest then fail "port %s listed twice" p else dup rest
+  in
+  dup def.ports;
+  let internals = internal_names def in
+  List.iter
+    (fun p ->
+      if List.mem p internals then fail "port %s shadows an internal component" p)
+    def.ports;
+  let known name = List.mem name def.ports || List.mem name internals in
+  List.iter
+    (fun (c : Component.t) ->
+      List.iter
+        (fun e ->
+          List.iter
+            (fun name ->
+              if not (known name) then
+                fail "module %s: <%s> is neither a port nor an internal component"
+                  def.def_name name)
+            (Expr.names e))
+        (Component.inputs c))
+    def.body
+
+let rename_expr ~subst e =
+  List.map
+    (fun atom ->
+      match atom with
+      | Expr.Const _ | Expr.Bitstring _ -> atom
+      | Expr.Ref { name; field } -> Expr.Ref { name = subst name; field })
+    e
+
+let rename_component ~subst (c : Component.t) =
+  let e = rename_expr ~subst in
+  let kind =
+    match c.kind with
+    | Component.Alu { fn; left; right } ->
+        Component.Alu { fn = e fn; left = e left; right = e right }
+    | Component.Selector { select; cases } ->
+        Component.Selector { select = e select; cases = Array.map e cases }
+    | Component.Memory { addr; data; op; cells; init } ->
+        Component.Memory { addr = e addr; data = e data; op = e op; cells; init }
+  in
+  { Component.name = subst c.name; kind }
+
+let expand def ~inst ~actuals =
+  let fail fmt = Error.failf ~component:inst Error.Parsing fmt in
+  if not (Spec.is_valid_name inst) then fail "instance name %s invalid" inst;
+  if List.length actuals <> List.length def.ports then
+    fail "module %s takes %d ports but %d given" def.def_name
+      (List.length def.ports) (List.length actuals);
+  List.iter
+    (fun a ->
+      if not (Spec.is_valid_name a) then
+        fail "port actual %s must be a component name" a)
+    actuals;
+  let bindings = List.combine def.ports actuals in
+  let internals = internal_names def in
+  let subst name =
+    match List.assoc_opt name bindings with
+    | Some actual -> actual
+    | None ->
+        if List.mem name internals then inst ^ name
+        else (* validate_def rules this out *) assert false
+  in
+  List.map (rename_component ~subst) def.body

@@ -1,0 +1,45 @@
+(** Modules: the §5.4 extension.
+
+    "ASIM II, however, does not have any high level modularity construct.
+    The behavior of an electronic circuit is difficult to express in a
+    modular fashion without providing the actual description of the module
+    and expanding that description at compile time."  This implements
+    exactly that compile-time expansion:
+
+    {v
+    B tflip clk .          { define module tflip with one port }
+    A tflipn 10 tflipq clk
+    M tflipq 0 tflipn 1 1
+    E
+    U bit0 tflip enable    { instantiate: ports bind to component names }
+    U bit1 tflip bit0tflipq
+    v}
+
+    Inside a module body, names fall into two classes: {b ports} (free
+    names listed in the [B] header) and {b internals} (components defined
+    in the body).  Instantiation [U inst mod a1 ... an] splices the body
+    into the surrounding specification with every internal [x] renamed to
+    [inst ^ x] and every port replaced by its actual (which must be a plain
+    component name; bit fields written on a port reference carry over to
+    the actual).  Modules may instantiate previously defined modules;
+    recursion is impossible by construction. *)
+
+type def = {
+  def_name : string;
+  ports : string list;
+  body : Asim_core.Component.t list;
+      (** may contain references to ports and internals only *)
+}
+
+val validate_def : def -> unit
+(** Check the definition: valid and distinct port names, and every name
+    referenced in the body is a port or an internal.  Raises
+    {!Asim_core.Error.Error} (phase [Parsing]). *)
+
+val expand :
+  def -> inst:string -> actuals:string list -> Asim_core.Component.t list
+(** Instantiate.  Raises on arity mismatch or invalid instance name.
+    Internal component [x] becomes [inst ^ x]. *)
+
+val internal_names : def -> string list
+(** Names defined by the body (before prefixing). *)

@@ -1,0 +1,258 @@
+open Asim_core
+
+let parse_number = Number.parse
+
+(* --- expressions ------------------------------------------------------- *)
+
+let split_on_char_nonempty ~what ?pos c s =
+  let pieces = String.split_on_char c s in
+  if List.exists (fun p -> p = "") pieces then
+    Error.failf ?position:pos Error.Parsing "Malformed %s %s." what s
+  else pieces
+
+let parse_atom ?pos piece =
+  let malformed () = Error.failf ?position:pos Error.Parsing "Malformed expression %s." piece in
+  if piece = "" then malformed ()
+  else if piece.[0] = '#' then begin
+    let bits = String.sub piece 1 (String.length piece - 1) in
+    if bits = "" || not (String.for_all (fun c -> c = '0' || c = '1') bits) then
+      malformed ()
+    else Expr.Bitstring bits
+  end
+  else if Number.is_number_start piece.[0] then
+    match split_on_char_nonempty ~what:"expression" ?pos '.' piece with
+    | [ number ] -> Expr.Const { number = Number.parse number; width = None }
+    | [ number; width ] ->
+        Expr.Const { number = Number.parse number; width = Some (Number.parse width) }
+    | _ -> malformed ()
+  else
+    match split_on_char_nonempty ~what:"expression" ?pos '.' piece with
+    | [ name ] when Spec.is_valid_name name -> Expr.Ref { name; field = Expr.Whole }
+    | [ name; f ] when Spec.is_valid_name name ->
+        Expr.Ref { name; field = Expr.Bit (Number.parse f) }
+    | [ name; f; t ] when Spec.is_valid_name name ->
+        Expr.Ref { name; field = Expr.Range (Number.parse f, Number.parse t) }
+    | _ -> malformed ()
+
+let parse_expr_at ?pos text =
+  let pieces = split_on_char_nonempty ~what:"expression" ?pos ',' text in
+  List.map (parse_atom ?pos) pieces
+
+let parse_expr text = parse_expr_at text
+
+(* --- token-stream helpers ---------------------------------------------- *)
+
+type stream = { mutable tokens : Lexer.token list; mutable last : Error.position }
+
+let peek s = match s.tokens with [] -> None | tok :: _ -> Some tok
+
+let next s what =
+  match s.tokens with
+  | [] -> Error.failf ~position:s.last Error.Parsing "unexpected end of input, expected %s" what
+  | tok :: rest ->
+      s.tokens <- rest;
+      s.last <- tok.Lexer.pos;
+      tok
+
+(* --- sections ----------------------------------------------------------- *)
+
+let parse_cycles s =
+  match peek s with
+  | Some { Lexer.text = "="; _ } ->
+      ignore (next s "=");
+      let tok = next s "cycle count" in
+      Some (Number.parse_value tok.Lexer.text)
+  | _ -> None
+
+let parse_decls s =
+  let rec go acc =
+    let tok = next s "component name or ." in
+    if tok.Lexer.text = "." then List.rev acc
+    else
+      let text = tok.Lexer.text in
+      let n = String.length text in
+      let name, traced =
+        if n > 1 && text.[n - 1] = '*' then (String.sub text 0 (n - 1), true)
+        else (text, false)
+      in
+      if not (Spec.is_valid_name name) then
+        Error.failf ~position:tok.Lexer.pos Error.Parsing
+          "Component name %s invalid, use letters and numbers only." name;
+      go ({ Spec.name; traced } :: acc)
+  in
+  go []
+
+let is_component_letter text =
+  text = "A" || text = "S" || text = "M" || text = "B" || text = "E" || text = "U"
+
+let parse_name s =
+  let tok = next s "component name" in
+  if not (Spec.is_valid_name tok.Lexer.text) then
+    Error.failf ~position:tok.Lexer.pos Error.Parsing
+      "Component name %s invalid, use letters and numbers only." tok.Lexer.text;
+  tok.Lexer.text
+
+let parse_expr_token s what =
+  let tok = next s what in
+  parse_expr_at ~pos:tok.Lexer.pos tok.Lexer.text
+
+let parse_alu s =
+  let name = parse_name s in
+  let fn = parse_expr_token s "ALU function" in
+  let left = parse_expr_token s "ALU left operand" in
+  let right = parse_expr_token s "ALU right operand" in
+  { Component.name; kind = Component.Alu { fn; left; right } }
+
+let parse_selector s =
+  let name = parse_name s in
+  let select = parse_expr_token s "selector input" in
+  let rec cases acc =
+    match peek s with
+    | Some { Lexer.text; _ } when is_component_letter text || text = "." ->
+        List.rev acc
+    | Some _ -> cases (parse_expr_token s "selector value" :: acc)
+    | None ->
+        Error.failf ~position:s.last Error.Parsing
+          "unexpected end of input in selector %s (missing final .?)" name
+  in
+  let cases = cases [] in
+  if cases = [] then
+    Error.failf ~position:s.last ~component:name Error.Parsing "selector has no values";
+  { Component.name; kind = Component.Selector { select; cases = Array.of_list cases } }
+
+let parse_memory s =
+  let name = parse_name s in
+  let addr = parse_expr_token s "memory address" in
+  let data = parse_expr_token s "memory data" in
+  let op = parse_expr_token s "memory operation" in
+  let tok = next s "memory cell count" in
+  let text = tok.Lexer.text in
+  if String.length text > 1 && text.[0] = '-' then begin
+    let cells = Number.parse_value (String.sub text 1 (String.length text - 1)) in
+    if cells < 1 then
+      Error.failf ~position:tok.Lexer.pos ~component:name Error.Parsing
+        "memory must have at least one cell";
+    let init =
+      Array.init cells (fun _ ->
+          Number.parse_value (next s "memory initial value").Lexer.text)
+    in
+    { Component.name; kind = Component.Memory { addr; data; op; cells; init = Some init } }
+  end
+  else
+    let cells = Number.parse_value text in
+    { Component.name; kind = Component.Memory { addr; data; op; cells; init = None } }
+
+(* Component list with the §5.4 module extension: [B name ports... .] opens
+   a module definition (terminated by [E]); [U inst module actuals...]
+   splices an instance in, with internal names prefixed by the instance
+   name.  Names created by expansion are also returned so the caller can
+   declare them implicitly. *)
+let parse_components s =
+  let modules = Hashtbl.create 8 in
+  let expanded = ref [] in
+  let parse_ports () =
+    let rec go acc =
+      let tok = next s "port name or ." in
+      if tok.Lexer.text = "." then List.rev acc
+      else begin
+        if not (Spec.is_valid_name tok.Lexer.text) then
+          Error.failf ~position:tok.Lexer.pos Error.Parsing
+            "port name %s invalid, use letters and numbers only." tok.Lexer.text;
+        go (tok.Lexer.text :: acc)
+      end
+    in
+    go []
+  in
+  let rec go ~in_module acc =
+    let tok = next s "component (A, S, M, B, U) or terminator" in
+    match tok.Lexer.text with
+    | "." when not in_module -> List.rev acc
+    | "E" when in_module -> List.rev acc
+    | "." ->
+        Error.failf ~position:tok.Lexer.pos Error.Parsing
+          "module body must end with E, not ."
+    | "E" ->
+        Error.failf ~position:tok.Lexer.pos Error.Parsing "E without a matching B"
+    | "A" -> go ~in_module (parse_alu s :: acc)
+    | "S" -> go ~in_module (parse_selector s :: acc)
+    | "M" -> go ~in_module (parse_memory s :: acc)
+    | "B" when in_module ->
+        Error.failf ~position:tok.Lexer.pos Error.Parsing
+          "nested module definitions are not supported"
+    | "B" ->
+        let def_name = parse_name s in
+        if Hashtbl.mem modules def_name then
+          Error.failf ~position:tok.Lexer.pos Error.Parsing
+            "module %s defined twice" def_name;
+        let ports = parse_ports () in
+        let body = go ~in_module:true [] in
+        let def = { Modular.def_name; ports; body } in
+        Modular.validate_def def;
+        Hashtbl.add modules def_name def;
+        go ~in_module acc
+    | "U" ->
+        let inst = parse_name s in
+        let tok = next s "module name" in
+        let def =
+          match Hashtbl.find_opt modules tok.Lexer.text with
+          | Some def -> def
+          | None ->
+              Error.failf ~position:tok.Lexer.pos Error.Parsing
+                "module <%s> not defined" tok.Lexer.text
+        in
+        let actuals = List.map (fun _ -> parse_name s) def.Modular.ports in
+        let components = Modular.expand def ~inst ~actuals in
+        if not in_module then
+          expanded :=
+            List.rev_append
+              (List.map (fun (c : Component.t) -> c.name) components)
+              !expanded;
+        go ~in_module (List.rev_append components acc)
+    | text ->
+        Error.failf ~position:tok.Lexer.pos Error.Parsing
+          "Component expected. Got <%s> instead." text
+  in
+  let components = go ~in_module:false [] in
+  (components, List.rev !expanded)
+
+let parse_string source =
+  let comment, tokens = Lexer.tokenize source in
+  let macros, tokens = Macro.consume tokens in
+  let tokens = Macro.expand macros tokens in
+  let s = { tokens; last = { Error.line = 1; column = 1 } } in
+  let cycles = parse_cycles s in
+  let decls = parse_decls s in
+  let components, expanded = parse_components s in
+  (* Components spliced in by module instantiation are declared implicitly
+     (untraced) unless the user listed them. *)
+  let declared name = List.exists (fun (d : Spec.decl) -> d.Spec.name = name) decls in
+  let decls =
+    decls
+    @ List.filter_map
+        (fun name ->
+          if declared name then None else Some { Spec.name; traced = false })
+        expanded
+  in
+  (match peek s with
+  | None -> ()
+  | Some tok ->
+      Error.failf ~position:tok.Lexer.pos Error.Parsing
+        "trailing input after final period: <%s>" tok.Lexer.text);
+  let spec = { Spec.comment; cycles; decls; components } in
+  Spec.validate spec;
+  spec
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let read () =
+    let n = in_channel_length ic in
+    really_input_string ic n
+  in
+  let source =
+    try read ()
+    with e ->
+      close_in_noerr ic;
+      raise e
+  in
+  close_in ic;
+  parse_string source

@@ -1,0 +1,1 @@
+lib/tinyc/asm.ml: Array Asim_core Buffer Error Hashtbl Isa List Printf

@@ -1,0 +1,1 @@
+lib/tinyc/asm.mli: Isa

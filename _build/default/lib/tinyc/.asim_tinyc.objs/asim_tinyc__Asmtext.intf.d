@@ -1,0 +1,1 @@
+lib/tinyc/asmtext.mli: Asm

@@ -1,0 +1,1 @@
+lib/tinyc/ispsim.mli: Machine

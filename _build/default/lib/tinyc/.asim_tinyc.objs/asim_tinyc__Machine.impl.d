@@ -1,0 +1,1 @@
+lib/tinyc/machine.ml: Array Asim_analysis Asim_compile Asim_core Asim_interp Asim_sim Asm Component Expr Isa List Spec

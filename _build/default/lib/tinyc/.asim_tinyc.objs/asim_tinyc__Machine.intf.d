@@ -1,0 +1,1 @@
+lib/tinyc/machine.mli: Asim_core Asm

@@ -1,0 +1,85 @@
+open Asim_core
+
+type operand =
+  | Abs of int
+  | Label of string
+
+type line =
+  | Def of string
+  | Instr of Isa.opcode * operand
+  | Word of int
+  | Org of int
+
+let fail fmt = Error.failf Error.Analysis fmt
+
+(* First pass: assign locations; second pass: resolve operands. *)
+let assemble lines =
+  let labels = Hashtbl.create 16 in
+  let loc = ref 0 in
+  let check_loc () =
+    if !loc < 0 || !loc >= Isa.memory_size then
+      fail "assembler: location %d outside memory (0..%d)" !loc (Isa.memory_size - 1)
+  in
+  List.iter
+    (function
+      | Def name ->
+          if Hashtbl.mem labels name then fail "assembler: label %s defined twice" name;
+          check_loc ();
+          Hashtbl.add labels name !loc
+      | Instr _ | Word _ ->
+          check_loc ();
+          incr loc
+      | Org target ->
+          loc := target;
+          check_loc ())
+    lines;
+  let image = Array.make Isa.memory_size 0 in
+  let written = Array.make Isa.memory_size false in
+  let resolve = function
+    | Abs a ->
+        if a < 0 || a >= Isa.memory_size then fail "assembler: address %d out of range" a
+        else a
+    | Label name -> (
+        match Hashtbl.find_opt labels name with
+        | Some a -> a
+        | None -> fail "assembler: label %s undefined" name)
+  in
+  let loc = ref 0 in
+  let emit word =
+    if written.(!loc) then fail "assembler: location %d assembled twice" !loc;
+    written.(!loc) <- true;
+    image.(!loc) <- word;
+    incr loc
+  in
+  List.iter
+    (function
+      | Def _ -> ()
+      | Instr (op, operand) -> emit (Isa.encode op (resolve operand))
+      | Word w -> emit w
+      | Org target -> loc := target)
+    lines;
+  image
+
+let disassemble image =
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun i word ->
+      if word <> 0 then Buffer.add_string buf (Printf.sprintf "%4d: %s\n" i (Isa.disassemble word)))
+    image;
+  Buffer.contents buf
+
+let ld name = Instr (Isa.Ld, Label name)
+
+let st name = Instr (Isa.St, Label name)
+
+let bb name = Instr (Isa.Bb, Label name)
+
+let br name = Instr (Isa.Br, Label name)
+
+let su name = Instr (Isa.Su, Label name)
+
+let label name = Def name
+
+let word w = Word w
+
+let org a = Org a

@@ -1,0 +1,37 @@
+(** A small symbolic assembler for the tiny computer. *)
+
+type operand =
+  | Abs of int  (** absolute address 0..127 *)
+  | Label of string
+
+type line =
+  | Def of string  (** define a label at the current location *)
+  | Instr of Isa.opcode * operand
+  | Word of int  (** literal data word *)
+  | Org of int  (** move the location counter *)
+
+val assemble : line list -> int array
+(** Produce the 128-word memory image.  Raises {!Asim_core.Error.Error}
+    (phase [Analysis]) on duplicate/undefined labels, overlapping [Org]
+    regions, or addresses out of range. *)
+
+val disassemble : int array -> string
+(** One line per non-zero word: ["  12: LD 30"]. *)
+
+(** Shorthand constructors. *)
+
+val ld : string -> line
+
+val st : string -> line
+
+val bb : string -> line
+
+val br : string -> line
+
+val su : string -> line
+
+val label : string -> line
+
+val word : int -> line
+
+val org : int -> line

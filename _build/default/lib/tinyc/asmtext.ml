@@ -1,0 +1,67 @@
+open Asim_core
+
+let fail ~line fmt =
+  Error.failf ~position:{ Error.line; column = 1 } Error.Parsing fmt
+
+let strip_comment s =
+  let cut =
+    match (String.index_opt s ';', String.index_opt s '#') with
+    | Some a, Some b -> Some (min a b)
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | None, None -> None
+  in
+  match cut with Some i -> String.sub s 0 i | None -> s
+
+let tokens_of_line s =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) s)
+  |> List.filter (fun t -> t <> "")
+
+let operand ~line = function
+  | [ op ] -> (
+      match int_of_string_opt op with
+      | Some a -> Asm.Abs a
+      | None ->
+          if Spec.is_valid_name op then Asm.Label op
+          else fail ~line "bad operand %s" op)
+  | _ -> fail ~line "expected one operand"
+
+let parse source =
+  let lines = String.split_on_char '\n' source in
+  let items = ref [] in
+  let emit i = items := i :: !items in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let text = String.trim (strip_comment raw) in
+      if text <> "" then begin
+        let text =
+          match String.index_opt text ':' with
+          | Some i when i > 0 && Spec.is_valid_name (String.sub text 0 i) ->
+              emit (Asm.label (String.sub text 0 i));
+              String.trim (String.sub text (i + 1) (String.length text - i - 1))
+          | _ -> text
+        in
+        match tokens_of_line text with
+        | [] -> ()
+        | mnemonic :: operands -> (
+            match (String.uppercase_ascii mnemonic, operands) with
+            | "LD", ops -> emit (Asm.Instr (Isa.Ld, operand ~line ops))
+            | "ST", ops -> emit (Asm.Instr (Isa.St, operand ~line ops))
+            | "BB", ops -> emit (Asm.Instr (Isa.Bb, operand ~line ops))
+            | "BR", ops -> emit (Asm.Instr (Isa.Br, operand ~line ops))
+            | "SU", ops -> emit (Asm.Instr (Isa.Su, operand ~line ops))
+            | ".WORD", [ n ] -> (
+                match int_of_string_opt n with
+                | Some v -> emit (Asm.word v)
+                | None -> fail ~line "bad .word operand %s" n)
+            | ".ORG", [ n ] -> (
+                match int_of_string_opt n with
+                | Some v -> emit (Asm.org v)
+                | None -> fail ~line "bad .org operand %s" n)
+            | m, _ -> fail ~line "unknown or malformed instruction %s" m)
+      end)
+    lines;
+  List.rev !items
+
+let assemble source = Asm.assemble (parse source)

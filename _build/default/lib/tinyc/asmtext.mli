@@ -1,0 +1,21 @@
+(** Textual assembly for the tiny computer.
+
+    {v
+    ; comments with ; or #
+    loop:  LD counter      ; operands are labels or absolute addresses
+           SU one
+           ST counter
+           BB done
+           BR loop
+    done:  BR done
+           .org 28
+    counter: .word 5
+    one:   .word 1
+    v} *)
+
+val parse : string -> Asm.line list
+(** Raises {!Asim_core.Error.Error} (phase [Parsing]) with a line number on
+    unknown mnemonics or malformed operands. *)
+
+val assemble : string -> int array
+(** [Asm.assemble] of {!parse}: source text → 128-word memory image. *)

@@ -1,0 +1,41 @@
+type opcode =
+  | Ld
+  | St
+  | Bb
+  | Br
+  | Su
+
+let opcode_code = function Ld -> 2 | St -> 3 | Bb -> 4 | Br -> 5 | Su -> 6
+
+let opcode_of_code = function
+  | 2 -> Some Ld
+  | 3 -> Some St
+  | 4 -> Some Bb
+  | 5 -> Some Br
+  | 6 -> Some Su
+  | _ -> None
+
+let opcode_name = function
+  | Ld -> "LD"
+  | St -> "ST"
+  | Bb -> "BB"
+  | Br -> "BR"
+  | Su -> "SU"
+
+let memory_size = 128
+
+let cycles_per_instruction = 4
+
+let encode op address =
+  if address < 0 || address >= memory_size then invalid_arg "Isa.encode: address"
+  else (opcode_code op lsl 7) lor address
+
+let decode word =
+  match opcode_of_code ((word lsr 7) land 7) with
+  | Some op -> Some (op, word land (memory_size - 1))
+  | None -> None
+
+let disassemble word =
+  match decode word with
+  | Some (op, address) -> Printf.sprintf "%s %d" (opcode_name op) address
+  | None -> string_of_int word

@@ -1,0 +1,45 @@
+(** Instruction set of the Appendix F tiny computer.
+
+    A 10-bit, five-instruction accumulator machine with 128 words of unified
+    program/data memory.  Words encode the opcode in bits 7-9 and a 7-bit
+    absolute address in bits 0-6:
+
+    - [LD a]  (opcode 2): accumulator := memory[a]
+    - [ST a]  (opcode 3): memory[a] := accumulator
+    - [BB a]  (opcode 4): branch to [a] when the borrow flag is set
+    - [BR a]  (opcode 5): branch to [a]
+    - [SU a]  (opcode 6): accumulator := accumulator - memory[a];
+      borrow := sign of the 11-bit result
+
+    Every instruction takes exactly four clock cycles (one per machine
+    phase). *)
+
+type opcode =
+  | Ld
+  | St
+  | Bb
+  | Br
+  | Su
+
+val opcode_code : opcode -> int
+(** The value of instruction bits 7-9. *)
+
+val opcode_of_code : int -> opcode option
+
+val opcode_name : opcode -> string
+
+val encode : opcode -> int -> int
+(** [encode op address]; raises [Invalid_argument] unless
+    [0 <= address < 128]. *)
+
+val decode : int -> (opcode * int) option
+(** [None] when bits 7-9 are not an opcode (a data word). *)
+
+val disassemble : int -> string
+(** ["LD 30"], or the decimal value for a data word. *)
+
+val memory_size : int
+(** 128 words. *)
+
+val cycles_per_instruction : int
+(** 4. *)

@@ -1,0 +1,59 @@
+type t = {
+  mutable pc : int;
+  mutable ac : int;
+  mutable borrow : int;
+  memory : int array;
+  mutable executed : int;
+}
+
+let create image =
+  if Array.length image <> Isa.memory_size then
+    invalid_arg "Tinyc.Ispsim.create: image must be 128 words";
+  { pc = 0; ac = 0; borrow = 0; memory = Array.copy image; executed = 0 }
+
+let mask11 = (1 lsl 11) - 1
+
+let step t =
+  match Isa.decode t.memory.(t.pc) with
+  | None -> false
+  | Some (op, address) ->
+      t.executed <- t.executed + 1;
+      let next = (t.pc + 1) land (Isa.memory_size - 1) in
+      (match op with
+      | Isa.Ld ->
+          (* the memory operand enters the ALU through a 10-bit field *)
+          t.ac <- t.memory.(address) land 1023;
+          t.pc <- next
+      | Isa.St ->
+          t.memory.(address) <- t.ac;
+          t.pc <- next
+      | Isa.Su ->
+          let diff = (t.ac - (t.memory.(address) land 1023)) land mask11 in
+          t.ac <- diff;
+          t.borrow <- (diff lsr 10) land 1;
+          t.pc <- next
+      | Isa.Br -> t.pc <- address
+      | Isa.Bb -> t.pc <- (if t.borrow = 1 then address else next));
+      true
+
+let run ?(max_instructions = 10_000) t =
+  let start = t.executed in
+  let rec go () =
+    if t.executed - start >= max_instructions then ()
+    else begin
+      let before = t.pc in
+      if step t then
+        if t.pc = before then () (* BR to itself: the halt idiom *)
+        else go ()
+    end
+  in
+  go ();
+  t.executed - start
+
+let observe t =
+  {
+    Machine.ac = t.ac;
+    pc = t.pc;
+    borrow = t.borrow;
+    memory = Array.copy t.memory;
+  }

@@ -1,0 +1,28 @@
+(** Instruction-set-level simulator of the tiny computer.
+
+    The behavioural counterpart of the Appendix F structure-level
+    specification, mirroring [Asim_stackm.Ispsim] for the other machine:
+    each {!Isa} instruction executes in one step against an abstract state
+    (pc, 11-bit accumulator, borrow flag, 128-word memory).  Used for
+    cross-level validation against the RTL machine. *)
+
+type t = {
+  mutable pc : int;
+  mutable ac : int;  (** 11 bits; bit 10 doubles as the borrow indicator *)
+  mutable borrow : int;
+  memory : int array;
+  mutable executed : int;
+}
+
+val create : int array -> t
+
+val step : t -> bool
+(** Execute one instruction; [false] on a data word (halt by convention
+    never happens — the demo programs spin on [BR]). *)
+
+val run : ?max_instructions:int -> t -> int
+(** Step until a data word, a self-branch ([BR here] — the halt idiom), or
+    the budget (default 10_000); returns instructions executed. *)
+
+val observe : t -> Machine.observation
+(** In the same shape the RTL helper reports, for direct comparison. *)

@@ -1,0 +1,184 @@
+open Asim_core
+
+let num v = [ Expr.num v ]
+
+let bit name i = [ Expr.ref_bit name i ]
+
+let whole name = [ Expr.ref_ name ]
+
+let alu name fn left right = { Component.name; kind = Component.Alu { fn; left; right } }
+
+let sel name select cases =
+  { Component.name; kind = Component.Selector { select; cases = Array.of_list cases } }
+
+let mem name addr data op cells init =
+  { Component.name; kind = Component.Memory { addr; data; op; cells; init } }
+
+let components ~program =
+  if Array.length program <> Isa.memory_size then
+    invalid_arg "Tinyc.Machine.components: image must be 128 words";
+  let e = Expr.of_atoms in
+  [
+    (* Two-bit phase counter, decoded one-hot. *)
+    alu "nextstate" (e [ Expr.bits "0100" ]) (whole "state") (num 1);
+    sel "phase"
+      (e [ Expr.ref_range "state" 0 1 ])
+      [
+        e [ Expr.bits "0001" ];
+        e [ Expr.bits "0010" ];
+        e [ Expr.bits "0100" ];
+        e [ Expr.bits "1000" ];
+      ];
+    (* Program counter: incremented, or loaded from ir on a taken branch. *)
+    alu "incpc" (e [ Expr.bits "0100" ]) (whole "pc") (num 1);
+    sel "newpc" (bit "decode" 1) [ whole "incpc"; whole "ir" ];
+    (* Decode: bit 0 = memory write, bit 1 = branch, bit 2 = accumulator
+       load, bit 3 = subtract. *)
+    sel "decode"
+      (e [ Expr.ref_range "ir" 7 9 ])
+      [
+        num 0;
+        num 0;
+        e [ Expr.ref_bit "phase" 3; Expr.bits "00" ];
+        e [ Expr.ref_bit "phase" 2 ];
+        e [ Expr.ref_ "borrow"; Expr.bits "0" ];
+        e [ Expr.bits "10" ];
+        e [ Expr.bits "1"; Expr.ref_bit "phase" 3; Expr.bits "00" ];
+        num 0;
+      ];
+    (* ALU: pass memory (load) or subtract it from the accumulator. *)
+    alu "alu"
+      (e [ Expr.ref_bit "decode" 3; Expr.bits "01" ])
+      (whole "ac")
+      (e [ Expr.ref_range "memory" 0 9 ]);
+    (* Borrow flip-flop plumbing (AND gates, §5.3 "gates must occasionally
+       be simulated"). *)
+    alu "sub" (num 12) (e [ Expr.bits "110" ]) (e [ Expr.ref_range "ir" 7 9 ]);
+    alu "b2" (num 8) (bit "phase" 3) (whole "sub");
+    alu "sell" (num 8) (bit "alu" 10) (bit "phase" 3);
+    alu "sel" (num 8) (whole "sub") (whole "sell");
+    (* Memory address mux: operand field during execute, pc otherwise. *)
+    sel "ma" (bit "phase" 2) [ whole "pc"; whole "ir" ];
+    (* State elements.  [ir] latches before [memory] and [memory] before
+       [ac], so every memory-reading data expression observes the previous
+       cycle's value — the update order carries no hidden dependency (the
+       phases never write reader and source in the same cycle), which also
+       keeps the spec representable at the gate level. *)
+    mem "state" (num 0) (e [ Expr.ref_range "nextstate" 0 1 ]) (num 1) 1 None;
+    mem "pc" (num 0) (e [ Expr.ref_range "newpc" 0 6 ]) (bit "phase" 2) 1 None;
+    mem "ir" (num 0) (whole "memory") (bit "phase" 1) 1 None;
+    mem "memory"
+      (e [ Expr.ref_range "ma" 0 6 ])
+      (whole "ac") (bit "decode" 0) Isa.memory_size (Some (Array.copy program));
+    mem "ac" (num 0) (e [ Expr.ref_range "alu" 0 10 ]) (bit "decode" 2) 1 None;
+    mem "borrow" (num 0) (whole "sel") (whole "b2") 1 None;
+  ]
+
+let component_names =
+  [
+    "nextstate"; "phase"; "incpc"; "newpc"; "decode"; "alu"; "sub"; "b2";
+    "sell"; "sel"; "ma"; "state"; "pc"; "ir"; "memory"; "ac"; "borrow";
+  ]
+
+let spec ?(traced = []) ?cycles ~program () =
+  let decls =
+    List.map (fun name -> { Spec.name; traced = List.mem name traced }) component_names
+  in
+  Spec.make ~comment:" tiny computer specification (Appendix F)" ?cycles ~decls
+    (components ~program)
+
+let demo_program =
+  Asm.
+    [
+      (* difference := a - b *)
+      ld "a";
+      su "b";
+      st "difference";
+      (* count difference down past zero; borrow exits the loop *)
+      label "loop";
+      ld "difference";
+      su "one";
+      st "difference";
+      bb "done";
+      br "loop";
+      label "done";
+      br "done";
+      org 28;
+      label "a";
+      word 10;
+      label "b";
+      word 3;
+      label "one";
+      word 1;
+      label "difference";
+      word 0;
+    ]
+
+let demo_image = Asm.assemble demo_program
+
+(* Five instructions suffice for multiplication: accumulate [a] into the
+   product [b] times, adding with x + y = x - (0 - y) (two SUs through a
+   zero cell) and counting down on the borrow branch.  The 10-bit operand
+   path makes all arithmetic mod 1024. *)
+let multiply_program a b =
+  Asm.
+    [
+      label "loop";
+      ld "bvar";
+      su "one";
+      st "bvar";
+      bb "done";
+      ld "zero";
+      su "avar";
+      st "nega";
+      ld "product";
+      su "nega";
+      st "product";
+      br "loop";
+      label "done";
+      br "done";
+      org 20;
+      label "avar";
+      word a;
+      label "bvar";
+      word b;
+      label "one";
+      word 1;
+      label "zero";
+      word 0;
+      label "product";
+      word 0;
+      label "nega";
+      word 0;
+    ]
+
+let multiply_product_address = 24
+
+(* 3 setup instructions + 8 countdown iterations of 5 instructions + slack. *)
+let demo_cycles = 250
+
+type observation = {
+  ac : int;
+  pc : int;
+  borrow : int;
+  memory : int array;
+}
+
+let run ?(engine = `Compiled) ?(cycles = demo_cycles) image =
+  let spec = spec ~cycles ~program:image () in
+  let analysis = Asim_analysis.Analysis.analyze spec in
+  let machine =
+    match engine with
+    | `Interp -> Asim_interp.Interp.create ~config:Asim_sim.Machine.quiet_config analysis
+    | `Compiled ->
+        Asim_compile.Compile.create ~config:Asim_sim.Machine.quiet_config analysis
+  in
+  Asim_sim.Machine.run machine ~cycles;
+  {
+    ac = machine.Asim_sim.Machine.read "ac";
+    pc = machine.Asim_sim.Machine.read "pc";
+    borrow = machine.Asim_sim.Machine.read "borrow";
+    memory =
+      Array.init Isa.memory_size (fun i ->
+          machine.Asim_sim.Machine.read_cell "memory" i);
+  }

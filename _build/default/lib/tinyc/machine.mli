@@ -1,0 +1,56 @@
+(** The tiny computer specification (Appendix F).
+
+    A 10-bit microprocessor with five instructions and 128 words of memory,
+    described with 16 ASIM II components: a 2-bit phase counter, program
+    counter with branch mux, instruction register, opcode decode selector,
+    an ALU that either passes or subtracts, a borrow flip-flop built from
+    AND gates, and the unified memory.  The thesis uses this machine to show
+    how a specification maps one-to-one onto a hardware circuit (its parts
+    list is reproduced by [Asim_netlist]). *)
+
+val components : program:int array -> Asim_core.Component.t list
+(** [program] is the 128-word memory image (see {!Asm.assemble}). *)
+
+val spec :
+  ?traced:string list ->
+  ?cycles:int ->
+  program:int array ->
+  unit ->
+  Asim_core.Spec.t
+
+val component_names : string list
+
+val demo_program : Asm.line list
+(** The reconstructed demonstration program (the appendix's listing is not
+    fully legible; this exercises every opcode): compute
+    [mem[30] - mem[31]], store it, then count it down to below zero and
+    halt via the borrow branch. *)
+
+val demo_image : int array
+
+val multiply_program : int -> int -> Asm.line list
+(** [multiply_program a b]: computes [a * b mod 1024] with nothing but the
+    five instructions — addition is synthesized as
+    [x + y = x - (0 - y)] via two subtractions, and the loop terminates on
+    the borrow branch.  The product lands in the [product] data word. *)
+
+val multiply_product_address : int
+(** Where {!multiply_program} leaves the product. *)
+
+val demo_cycles : int
+(** Enough cycles for the demo to reach its halt spin. *)
+
+(** Observable state of a run, for tests and examples. *)
+type observation = {
+  ac : int;  (** accumulator (11-bit latch, includes the borrow bit) *)
+  pc : int;
+  borrow : int;
+  memory : int array;
+}
+
+val run :
+  ?engine:[ `Interp | `Compiled ] ->
+  ?cycles:int ->
+  int array ->
+  observation
+(** Build the machine around the image, run quietly, observe. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Asim_analysis Asim_core Asim_stackm Asim_syntax Asim_tinyc Component Error Format List Spec String

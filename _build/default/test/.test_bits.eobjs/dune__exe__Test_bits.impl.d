@@ -1,0 +1,1 @@
+test/test_bits.ml: Alcotest Asim_core Bits List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Analysis Asim Asim_codegen Asim_stackm List Option Parser Specs String

@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Asim Asim_core Buffer Compile Error Fault Interp Io List Machine Printf Stats Trace

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Asim_core Asim_syntax Bits Error Expr List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gates.ml: Alcotest Analysis Asim Asim_gates Asim_stackm Asim_tinyc Bits Compile Component Error Io List Machine Spec Specs String

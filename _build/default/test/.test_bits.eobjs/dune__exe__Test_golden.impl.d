@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Asim Asim_codegen Filename Specs String

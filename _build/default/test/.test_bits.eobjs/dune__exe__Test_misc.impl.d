@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asim Asim_netlist Asim_sim Asim_stackm Asim_syntax Buffer Component Depgraph Error Expr List Machine Macro Parser Pretty Printf Spec Specs String Vcd

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Analysis Asim Asim_netlist Asim_stackm Asim_tinyc List Specs String

@@ -1,0 +1,1 @@
+test/test_number.ml: Alcotest Asim_core Error Number Printexc QCheck QCheck_alcotest

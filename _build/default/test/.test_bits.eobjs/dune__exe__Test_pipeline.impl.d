@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Asim Asim_analysis Asim_codegen Asim_stackm Buffer Interp List Machine Printf Specs String Trace

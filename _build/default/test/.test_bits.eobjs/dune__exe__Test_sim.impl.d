@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Asim Buffer Compile Component Coverage Error Fault Io List Machine Printf Profile Specs Stats String Trace Vcd

@@ -1,0 +1,1 @@
+test/test_stackm.ml: Alcotest Array Asim Asim_core Asim_stackm Buffer List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Array Asim Asim_core Asim_syntax Component Error Expr Filename List Spec String Sys

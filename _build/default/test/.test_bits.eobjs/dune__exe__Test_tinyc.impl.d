@@ -1,0 +1,1 @@
+test/test_tinyc.ml: Alcotest Array Asim Asim_tinyc List Printf

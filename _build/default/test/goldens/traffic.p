@@ -1,0 +1,120 @@
+program simulator(input, output);
+{# traffic light: light 0=green 1=red, timer reloads on expiry}
+var ljbexpired, ljbdec, ljbreload, ljbnextlight, ljbnexttimer, temptimer, adrtimer, opntimer, templight, adrlight, opnlight: integer;
+  cycles, cyclecount: integer;
+  ljbtimer: array[0..0] of integer;
+  ljblight: array[0..0] of integer;
+
+function land (a, b: integer): integer;
+type bitnos = 0..31;
+  bigset = set of bitnos;
+var intset: record case boolean of
+  false: (i, j: integer);
+  true: (x, y: bigset)
+end;
+begin
+  with intset do begin
+    i := a;
+    j := b;
+    x := x * y;
+    land := i
+  end
+end {land};
+
+procedure initvalues;
+var i: integer;
+begin
+  for i := 0 to 0 do
+    ljbtimer[i] := 0;
+  temptimer := 0;
+  for i := 0 to 0 do
+    ljblight[i] := 0;
+  templight := 0;
+end; {initvalues}
+
+function dologic (funct, left, right: integer): integer;
+const mask = 2147483647;
+var value : integer;
+begin
+  value := 0;
+  case funct of
+  0 : value := 0;
+  1 : value := right;
+  2 : value := left;
+  3 : value := mask - left;
+  4 : value := left + right;
+  5 : value := left - right;
+  6 : begin
+        value := land(left, mask);
+        while (right > 0) and (value <> 0) do begin
+          value := land(value + value, mask);
+          right := right - 1
+        end
+      end;
+  7 : value := left * right;
+  8 : value := land(left, right);
+  9 : value := left + right - land(left, right);
+  10: value := left + right - land(left, right) * 2;
+  11: value := 0;
+  12: if left = right then value := 1;
+  13: if left < right then value := 1
+  end; {case}
+  dologic := value;
+end; {dologic}
+
+function sinput (address : integer): integer;
+var datum: char;
+  data: integer;
+begin
+  if address = 0 then begin
+    read(input, datum);
+    sinput := ord(datum)
+  end
+  else if address = 1 then begin
+    read(input, data);
+    sinput := data
+  end
+  else begin
+    write(output, 'Input from address ', address:1, ': ');
+    readln(input, data);
+    sinput := data;
+  end
+end; {sinput}
+
+procedure soutput (address, data: integer);
+begin
+  if address = 0 then writeln(output, chr(data))
+  else if address = 1 then writeln(output, data)
+  else writeln(output, 'Output to address ', address:1, ': ', data:1)
+end; {soutput}
+
+begin
+  initvalues;
+  cycles := 40;
+  cyclecount := 0;
+  while cyclecount < cycles do begin
+    if temptimer = 0 then ljbexpired := 1
+    else ljbexpired := 0;
+    ljbdec := temptimer - 1;
+    case templight of
+      0: ljbreload := 5;
+      1: ljbreload := 3;
+    end;
+    ljbnextlight := templight + ljbexpired - land(templight, ljbexpired) * 2;
+    case ljbexpired of
+      0: ljbnexttimer := ljbdec;
+      1: ljbnexttimer := ljbreload;
+    end;
+    write('Cycle ', cyclecount:3);
+    write(' light= ', templight:1);
+    write(' timer= ', temptimer:1);
+    writeln;
+    adrtimer := 0;
+    adrlight := 0;
+    temptimer := ljbnexttimer;
+    ljbtimer[adrtimer] := temptimer;
+    templight := ljbnextlight;
+    ljblight[adrlight] := templight;
+    cyclecount := cyclecount + 1
+  end; {while}
+end.

@@ -1,0 +1,125 @@
+(* Unit and property tests for the 31-bit word utilities. *)
+
+open Asim_core
+
+let check = Alcotest.(check int)
+
+let test_constants () =
+  check "word bits" 31 Bits.word_bits;
+  check "mask" 2147483647 Bits.mask
+
+let test_ones () =
+  check "ones 0" 0 (Bits.ones 0);
+  check "ones 1" 1 (Bits.ones 1);
+  check "ones 4" 15 (Bits.ones 4);
+  check "ones 31" Bits.mask (Bits.ones 31);
+  Alcotest.check_raises "ones 32" (Invalid_argument "Bits.ones") (fun () ->
+      ignore (Bits.ones 32));
+  Alcotest.check_raises "ones -1" (Invalid_argument "Bits.ones") (fun () ->
+      ignore (Bits.ones (-1)))
+
+let test_bit () =
+  check "bit 0 of 5" 1 (Bits.bit 5 0);
+  check "bit 1 of 5" 0 (Bits.bit 5 1);
+  check "bit 2 of 5" 1 (Bits.bit 5 2);
+  check "bit 30 of mask" 1 (Bits.bit Bits.mask 30);
+  (* Two's-complement view of negatives, as in the original Pascal. *)
+  check "bit 0 of -1" 1 (Bits.bit (-1) 0);
+  check "bit 12 of -1" 1 (Bits.bit (-1) 12)
+
+let test_extract () =
+  check "extract lone bit" 1 (Bits.extract 8 ~lo:3 ~hi:3);
+  check "extract low nibble" 11 (Bits.extract 0xAB ~lo:0 ~hi:3);
+  check "extract high nibble" 10 (Bits.extract 0xAB ~lo:4 ~hi:7);
+  check "extract of negative" 4091 (Bits.extract (-5) ~lo:0 ~hi:11);
+  Alcotest.check_raises "inverted range" (Invalid_argument "Bits.extract") (fun () ->
+      ignore (Bits.extract 0 ~lo:4 ~hi:2))
+
+let test_field_mask () =
+  check "bit 0" 1 (Bits.field_mask ~lo:0 ~hi:0);
+  check "bits 3..4" 24 (Bits.field_mask ~lo:3 ~hi:4);
+  check "bits 0..11" 4095 (Bits.field_mask ~lo:0 ~hi:11);
+  check "bit 30" (1 lsl 30) (Bits.field_mask ~lo:30 ~hi:30)
+
+let test_shift_left_masked () =
+  check "1 << 4" 16 (Bits.shift_left_masked 1 4);
+  check "n = 0 passes through" 7 (Bits.shift_left_masked 7 0);
+  check "negative count passes through" 7 (Bits.shift_left_masked 7 (-2));
+  check "zero stays zero" 0 (Bits.shift_left_masked 0 10);
+  (* Bits shifted past bit 30 fall off. *)
+  check "overflow drops high bits" 0 (Bits.shift_left_masked (1 lsl 30) 1);
+  check "partial overflow" ((1 lsl 30) land Bits.mask) (Bits.shift_left_masked 3 30)
+
+let test_width_needed () =
+  check "0 needs 1" 1 (Bits.width_needed 0);
+  check "1 needs 1" 1 (Bits.width_needed 1);
+  check "2 needs 2" 2 (Bits.width_needed 2);
+  check "255 needs 8" 8 (Bits.width_needed 255);
+  check "256 needs 9" 9 (Bits.width_needed 256);
+  check "negative takes the word" 31 (Bits.width_needed (-1))
+
+let test_power_of_two () =
+  Alcotest.(check bool) "1" true (Bits.is_power_of_two 1);
+  Alcotest.(check bool) "4096" true (Bits.is_power_of_two 4096);
+  Alcotest.(check bool) "0" false (Bits.is_power_of_two 0);
+  Alcotest.(check bool) "6" false (Bits.is_power_of_two 6);
+  Alcotest.(check bool) "negative" false (Bits.is_power_of_two (-4))
+
+let test_binary_string () =
+  Alcotest.(check string) "5 in 4 bits" "0101" (Bits.to_binary_string ~width:4 5);
+  Alcotest.(check string) "1 bit" "1" (Bits.to_binary_string ~width:1 1);
+  Alcotest.(check string) "truncates to width" "0" (Bits.to_binary_string ~width:1 2)
+
+(* Properties *)
+
+let prop_extract_matches_shift =
+  QCheck.Test.make ~name:"extract = shift+mask" ~count:500
+    QCheck.(triple (int_bound Bits.mask) (int_bound 30) (int_bound 30))
+    (fun (v, a, b) ->
+      let lo = min a b and hi = max a b in
+      Bits.extract v ~lo ~hi = (v lsr lo) land Bits.ones (hi - lo + 1))
+
+let prop_field_mask_popcount =
+  QCheck.Test.make ~name:"field mask covers hi-lo+1 bits" ~count:500
+    QCheck.(pair (int_bound 30) (int_bound 30))
+    (fun (a, b) ->
+      let lo = min a b and hi = max a b in
+      let rec popcount v = if v = 0 then 0 else (v land 1) + popcount (v lsr 1) in
+      popcount (Bits.field_mask ~lo ~hi) = hi - lo + 1)
+
+let prop_shift_matches_lsl_when_in_range =
+  QCheck.Test.make ~name:"shift_left_masked = lsl (no overflow)" ~count:500
+    QCheck.(pair (int_bound 0xFFFF) (int_bound 14))
+    (fun (v, n) -> Bits.shift_left_masked v n = (v lsl n) land Bits.mask)
+
+let prop_width_needed_tight =
+  QCheck.Test.make ~name:"width_needed is tight" ~count:500
+    QCheck.(int_bound Bits.mask)
+    (fun v ->
+      let w = Bits.width_needed v in
+      v <= Bits.ones w && (w = 1 || v > Bits.ones (w - 1)))
+
+let () =
+  Alcotest.run "bits"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "constants" `Quick test_constants;
+          Alcotest.test_case "ones" `Quick test_ones;
+          Alcotest.test_case "bit" `Quick test_bit;
+          Alcotest.test_case "extract" `Quick test_extract;
+          Alcotest.test_case "field_mask" `Quick test_field_mask;
+          Alcotest.test_case "shift_left_masked" `Quick test_shift_left_masked;
+          Alcotest.test_case "width_needed" `Quick test_width_needed;
+          Alcotest.test_case "is_power_of_two" `Quick test_power_of_two;
+          Alcotest.test_case "to_binary_string" `Quick test_binary_string;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_extract_matches_shift;
+            prop_field_mask_popcount;
+            prop_shift_matches_lsl_when_in_range;
+            prop_width_needed_tight;
+          ] );
+    ]

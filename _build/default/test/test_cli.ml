@@ -1,0 +1,256 @@
+(* End-to-end tests of the `asim` command-line interface: each case execs
+   the built binary and inspects its output. *)
+
+(* The CLI binary lives next to this test inside _build; resolve it from the
+   test executable's own location so the tests work under both `dune
+   runtest` and `dune exec`. *)
+let binary =
+  let dir = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.concat dir Filename.parent_dir_name) "bin")
+    "main.exe"
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+(* Run the CLI; returns (exit_code, combined stdout+stderr). *)
+let run_cli ?stdin_text args =
+  let out = Filename.temp_file "asim-cli" ".out" in
+  let stdin_redirect =
+    match stdin_text with
+    | None -> "< /dev/null"
+    | Some text ->
+        let path = Filename.temp_file "asim-cli" ".in" in
+        write_file path text;
+        "< " ^ Filename.quote path
+  in
+  let cmd =
+    Printf.sprintf "%s %s %s > %s 2>&1" (Filename.quote binary) args stdin_redirect
+      (Filename.quote out)
+  in
+  let code = Sys.command cmd in
+  let text = read_file out in
+  Sys.remove out;
+  (code, text)
+
+let with_spec source f =
+  let path = Filename.temp_file "asim-cli" ".asim" in
+  write_file path source;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let counter = "# counter\n= 8\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n"
+
+let check_ok label (code, text) needles =
+  if code <> 0 then Alcotest.failf "%s: exit %d:\n%s" label code text;
+  List.iter
+    (fun needle ->
+      if not (contains text needle) then
+        Alcotest.failf "%s: missing %S in:\n%s" label needle text)
+    needles
+
+let test_example_listing () =
+  check_ok "example" (run_cli "example")
+    [ "counter"; "stack-machine-sieve"; "tiny-computer"; "divider-modular" ]
+
+let test_example_dump () =
+  let code, text = run_cli "example counter" in
+  Alcotest.(check int) "exit" 0 code;
+  Alcotest.(check bool) "is a spec" true (contains text "A inc 4 count 1")
+
+let test_run_trace () =
+  with_spec counter (fun path ->
+      check_ok "run trace"
+        (run_cli (Printf.sprintf "run %s" (Filename.quote path)))
+        [ "Cycle   0 count= 0"; "Cycle   7 count= 7" ])
+
+let test_run_stats () =
+  with_spec counter (fun path ->
+      check_ok "run stats"
+        (run_cli (Printf.sprintf "run %s -q --stats" (Filename.quote path)))
+        [ "cycles executed: 8"; "memory count" ])
+
+let test_run_engines_agree () =
+  with_spec counter (fun path ->
+      let _, interp = run_cli (Printf.sprintf "run %s -e interp" (Filename.quote path)) in
+      let _, compiled =
+        run_cli (Printf.sprintf "run %s -e compiled" (Filename.quote path))
+      in
+      Alcotest.(check string) "same trace" interp compiled)
+
+let test_run_fault () =
+  with_spec counter (fun path ->
+      check_ok "run fault"
+        (run_cli (Printf.sprintf "run %s --fault inc=stuck@42" (Filename.quote path)))
+        [ "Cycle   2 count= 42" ])
+
+let test_run_vcd () =
+  with_spec counter (fun path ->
+      let vcd = Filename.temp_file "asim-cli" ".vcd" in
+      let _ =
+        run_cli (Printf.sprintf "run %s -q --vcd %s" (Filename.quote path) (Filename.quote vcd))
+      in
+      let text = read_file vcd in
+      Sys.remove vcd;
+      Alcotest.(check bool) "vcd header" true (contains text "$enddefinitions $end"))
+
+let test_check () =
+  with_spec counter (fun path ->
+      check_ok "check"
+        (run_cli (Printf.sprintf "check %s" (Filename.quote path)))
+        [ "2 components read."; "combinational order: inc" ])
+
+let test_fmt_roundtrip () =
+  with_spec counter (fun path ->
+      let code, text = run_cli (Printf.sprintf "fmt %s" (Filename.quote path)) in
+      Alcotest.(check int) "exit" 0 code;
+      (* canonical output must itself parse *)
+      let spec = Asim.Parser.parse_string text in
+      Alcotest.(check int) "components" 2 (List.length spec.Asim.Spec.components))
+
+let test_codegen () =
+  with_spec counter (fun path ->
+      check_ok "codegen pascal"
+        (run_cli (Printf.sprintf "codegen %s -l pascal" (Filename.quote path)))
+        [ "program simulator(input, output);"; "ljbinc := tempcount + 1;" ];
+      check_ok "codegen ocaml"
+        (run_cli (Printf.sprintf "codegen %s -l ocaml" (Filename.quote path)))
+        [ "let dologic funct left right =" ];
+      check_ok "codegen c"
+        (run_cli (Printf.sprintf "codegen %s -l c" (Filename.quote path)))
+        [ "#include <stdio.h>" ])
+
+let test_netlist () =
+  with_spec counter (fun path ->
+      check_ok "netlist"
+        (run_cli (Printf.sprintf "netlist %s" (Filename.quote path)))
+        [ "4 bit adder" ];
+      check_ok "netlist dot"
+        (run_cli (Printf.sprintf "netlist %s -f dot" (Filename.quote path)))
+        [ "digraph asim {" ])
+
+let test_gates () =
+  with_spec counter (fun path ->
+      check_ok "gates"
+        (run_cli (Printf.sprintf "gates %s --verify 10" (Filename.quote path)))
+        [ "flip-flops"; "gate level matches the RTL engine over 10 cycles" ])
+
+let test_pipeline () =
+  with_spec counter (fun path ->
+      check_ok "pipeline"
+        (run_cli (Printf.sprintf "pipeline %s -l ocaml" (Filename.quote path)))
+        [ "Generate code"; "Compile"; "Simulation time" ])
+
+let test_asm () =
+  let source =
+    "nop\nenter 2\npush 3\nstore 1\nloop: load 1\nout\nload 1\npush 1\nneg\n\
+     add\ndupe\nstore 1\nbz done\njmp loop\ndone: jmp done\n"
+  in
+  let path = Filename.temp_file "asim-cli" ".s" in
+  write_file path source;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      check_ok "asm run"
+        (run_cli (Printf.sprintf "asm %s --run -n 1500" (Filename.quote path)))
+        [ "output[1] <- 3"; "output[1] <- 2"; "output[1] <- 1" ];
+      let code, text = run_cli (Printf.sprintf "asm %s" (Filename.quote path)) in
+      Alcotest.(check int) "emits a spec" 0 code;
+      let spec = Asim.Parser.parse_string text in
+      Alcotest.(check bool) "spec has the machine" true
+        (Asim.Spec.find spec "rom" <> None))
+
+let test_profile () =
+  with_spec counter (fun path ->
+      check_ok "profile"
+        (run_cli (Printf.sprintf "profile %s -c count -n 4" (Filename.quote path)))
+        [ "4 cycles"; "count (4 samples):" ])
+
+let test_coverage () =
+  with_spec counter (fun path ->
+      check_ok "coverage"
+        (run_cli (Printf.sprintf "coverage %s --bits 4" (Filename.quote path)))
+        [ "fault coverage:"; "detected" ])
+
+let test_wavediff () =
+  with_spec counter (fun path ->
+      let h = Filename.temp_file "asim-cli" ".vcd" in
+      let f = Filename.temp_file "asim-cli" ".vcd" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove h;
+          Sys.remove f)
+        (fun () ->
+          let _ = run_cli (Printf.sprintf "run %s -q --vcd %s" (Filename.quote path) (Filename.quote h)) in
+          let _ =
+            run_cli
+              (Printf.sprintf "run %s -q --vcd %s --fault count=flip@0:3-5"
+                 (Filename.quote path) (Filename.quote f))
+          in
+          let code, text =
+            run_cli (Printf.sprintf "wavediff %s %s" (Filename.quote h) (Filename.quote h))
+          in
+          Alcotest.(check int) "identical dumps exit 0" 0 code;
+          Alcotest.(check bool) "equivalent" true (contains text "equivalent");
+          let code, text =
+            run_cli (Printf.sprintf "wavediff %s %s" (Filename.quote h) (Filename.quote f))
+          in
+          Alcotest.(check int) "divergent dumps exit 1" 1 code;
+          Alcotest.(check bool) "names the signal" true (contains text "count")))
+
+let test_interactive () =
+  with_spec counter (fun path ->
+      check_ok "interactive dialogue"
+        (run_cli ~stdin_text:"3\n6\n0\n"
+           (Printf.sprintf "run %s -n 0 -i" (Filename.quote path)))
+        [
+          "Number of cycles to trace"; "Cycle   2 count= 2";
+          "Continue to cycle (0 to quit)"; "Cycle   5 count= 5";
+        ])
+
+let test_errors () =
+  let code, _ = run_cli "run /nonexistent/file.asim" in
+  Alcotest.(check bool) "missing file fails" true (code <> 0);
+  with_spec "# bad\nx .\nQ x\n.\n" (fun path ->
+      let code, text = run_cli (Printf.sprintf "run %s" (Filename.quote path)) in
+      Alcotest.(check bool) "parse error fails" true (code <> 0);
+      Alcotest.(check bool) "diagnostic printed" true (contains text "Component expected"))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "example listing" `Quick test_example_listing;
+          Alcotest.test_case "example dump" `Quick test_example_dump;
+          Alcotest.test_case "run trace" `Quick test_run_trace;
+          Alcotest.test_case "run stats" `Quick test_run_stats;
+          Alcotest.test_case "engines agree" `Quick test_run_engines_agree;
+          Alcotest.test_case "fault injection" `Quick test_run_fault;
+          Alcotest.test_case "vcd output" `Quick test_run_vcd;
+          Alcotest.test_case "check" `Quick test_check;
+          Alcotest.test_case "fmt round-trip" `Quick test_fmt_roundtrip;
+          Alcotest.test_case "codegen" `Quick test_codegen;
+          Alcotest.test_case "netlist" `Quick test_netlist;
+          Alcotest.test_case "gates" `Quick test_gates;
+          Alcotest.test_case "asm" `Quick test_asm;
+          Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "interactive" `Quick test_interactive;
+          Alcotest.test_case "wavediff" `Quick test_wavediff;
+          Alcotest.test_case "coverage" `Quick test_coverage;
+          Alcotest.test_case "pipeline" `Quick test_pipeline;
+          Alcotest.test_case "errors" `Quick test_errors;
+        ] );
+    ]

@@ -1,0 +1,146 @@
+(* Expression semantics: concatenation, bit fields, widths, evaluation.
+   Includes the Figure 3.1 example. *)
+
+open Asim_core
+module Parser = Asim_syntax.Parser
+
+let e = Parser.parse_expr
+
+let eval env expr = Expr.eval ~read:(fun name -> List.assoc name env) expr
+
+let check = Alcotest.(check int)
+
+(* Figure 3.1: mem.3.4,#01,count.1 concatenates bits 3..4 of mem, the
+   literal 01, and bit 1 of count. *)
+let test_figure_3_1 () =
+  let expr = e "mem.3.4,#01,count.1" in
+  check "width" 5 (Expr.width expr);
+  (* mem = ...11 at bits 3..4; count bit 1 set -> 11 01 1 = 27 *)
+  check "value" 27 (eval [ ("mem", 0b11000); ("count", 0b10) ] expr);
+  (* with everything else zero, the literal alone contributes 01 at bit 1 *)
+  check "literal only" 2 (eval [ ("mem", 0); ("count", 0) ] expr)
+
+let test_atoms () =
+  check "plain ref" 42 (eval [ ("x", 42) ] (e "x"));
+  check "single bit" 1 (eval [ ("x", 8) ] (e "x.3"));
+  check "range" 5 (eval [ ("x", 0b101000) ] (e "x.3.5"));
+  check "const" 3048 (eval [] (e "3048"));
+  check "const sum" 387 (eval [] (e "128+3+^8"));
+  check "bitstring" 6 (eval [] (e "#110"));
+  check "widthed const keeps low bits" 5 (eval [] (e "21.4"));
+  check "hex in field position" 1 (eval [ ("x", 2) ] (e "x.%1"))
+
+let test_concat_order () =
+  (* Leftmost atom is most significant. *)
+  check "two bits" 0b10 (eval [ ("a", 1); ("b", 0) ] (e "a.0,b.0"));
+  check "literal then bit" 0b101 (eval [ ("x", 1) ] (e "#10,x.0"));
+  check "nibbles" 0xAB (eval [ ("h", 0xA); ("l", 0xB) ] (e "h.0.3,l.0.3"));
+  (* A filling atom may only be leftmost; it occupies the rest. *)
+  check "filling leftmost" ((7 lsl 2) lor 1) (eval [ ("x", 7) ] (e "x,#01"))
+
+let test_widths () =
+  check "bit" 1 (Expr.width (e "x.7"));
+  check "range" 12 (Expr.width (e "x.0.11"));
+  check "bitstring" 4 (Expr.width (e "#0000"));
+  check "plain ref fills" 31 (Expr.width (e "x"));
+  check "const fills" 31 (Expr.width (e "5"));
+  check "widthed const" 4 (Expr.width (e "5.4"));
+  check "mixed" 31 (Expr.width (e "x,#01"))
+
+let analysis_error f =
+  match f () with
+  | exception Error.Error { phase = Error.Analysis; _ } -> ()
+  | _ -> Alcotest.fail "expected an analysis error"
+
+let test_width_errors () =
+  analysis_error (fun () -> Expr.width (e "x.0.15,y.0.15,z.0.3"));
+  analysis_error (fun () -> Expr.width (e "#01,x"));
+  analysis_error (fun () -> Expr.width (e "x.5.2"));
+  analysis_error (fun () -> Expr.width (e "x.40"))
+
+let test_names () =
+  Alcotest.(check (list string))
+    "order, no duplicates" [ "b"; "a"; "c" ]
+    (Expr.names (e "b.1,a.2,b.3,c.0,#01"))
+
+let test_numeric () =
+  Alcotest.(check bool) "consts" true (Expr.is_numeric (e "12,#01"));
+  Alcotest.(check bool) "with ref" false (Expr.is_numeric (e "12,x.0"));
+  Alcotest.(check (option int)) "const value" (Some 49) (Expr.const_value (e "#11,1.4"));
+  Alcotest.(check (option int)) "not const" None (Expr.const_value (e "x"))
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun src ->
+      let expr = e src in
+      let printed = Expr.to_string expr in
+      Alcotest.(check string)
+        (Printf.sprintf "round-trip %s" src)
+        printed
+        (Expr.to_string (e printed)))
+    [ "mem.3.4,#01,count.1"; "128+3+^8"; "x"; "x.0.11,y.0.3"; "%110,rom.8"; "5.4" ]
+
+let test_negative_values () =
+  (* Bit extraction on negative values uses two's complement, matching
+     Pascal's set-based land. *)
+  check "low bits of -5" 4091 (eval [ ("x", -5) ] (e "x.0.11"));
+  check "bit of negative" 1 (eval [ ("x", -1) ] (e "x.12"))
+
+(* Property: width of a concatenation is the sum of the field widths. *)
+let field_gen =
+  QCheck.Gen.(
+    let* lo = int_bound 27 in
+    let* len = int_range 1 3 in
+    return (Expr.ref_range "x" lo (lo + len - 1)))
+
+let prop_concat_width =
+  let gen = QCheck.Gen.(list_size (int_range 1 6) field_gen) in
+  let arbitrary = QCheck.make ~print:(fun a -> Expr.to_string a) gen in
+  QCheck.Test.make ~name:"concat width = sum of field widths" ~count:200 arbitrary
+    (fun atoms ->
+      let sum =
+        List.fold_left
+          (fun acc a -> acc + Option.get (Expr.atom_width a))
+          0 atoms
+      in
+      QCheck.assume (sum <= Bits.word_bits);
+      Expr.width atoms = sum)
+
+(* Property: evaluation distributes field extraction correctly. *)
+let prop_two_field_eval =
+  let gen =
+    QCheck.Gen.(
+      let* v = int_bound Bits.mask in
+      let* lo1 = int_bound 10 in
+      let* hi1 = int_range lo1 (lo1 + 5) in
+      let* lo2 = int_bound 10 in
+      let* hi2 = int_range lo2 (lo2 + 5) in
+      return (v, (lo1, hi1), (lo2, hi2)))
+  in
+  QCheck.Test.make ~name:"a.f1,a.f2 = (extract f1 << w2) + extract f2" ~count:300
+    (QCheck.make gen)
+    (fun (v, (lo1, hi1), (lo2, hi2)) ->
+      let expr = [ Expr.ref_range "a" lo1 hi1; Expr.ref_range "a" lo2 hi2 ] in
+      let w2 = hi2 - lo2 + 1 in
+      Expr.eval ~read:(fun _ -> v) expr
+      = (Bits.extract v ~lo:lo1 ~hi:hi1 lsl w2) + Bits.extract v ~lo:lo2 ~hi:hi2)
+
+let () =
+  Alcotest.run "expr"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "figure 3.1" `Quick test_figure_3_1;
+          Alcotest.test_case "atoms" `Quick test_atoms;
+          Alcotest.test_case "concatenation order" `Quick test_concat_order;
+          Alcotest.test_case "widths" `Quick test_widths;
+          Alcotest.test_case "width errors" `Quick test_width_errors;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "numeric detection" `Quick test_numeric;
+          Alcotest.test_case "to_string round-trip" `Quick test_to_string_roundtrip;
+          Alcotest.test_case "negative values" `Quick test_negative_values;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_concat_width; prop_two_field_eval ]
+      );
+    ]

@@ -1,0 +1,130 @@
+(* Gate-level simulation (§2.2.2): boolean networks must match the RTL
+   engines cycle-for-cycle on width-masked values. *)
+
+open Asim
+module Circuit = Asim_gates.Circuit
+
+let check_equivalence ?(cycles = 24) label analysis =
+  let rtl = Compile.create ~config:Machine.quiet_config analysis in
+  let gates = Circuit.of_analysis analysis in
+  let names =
+    List.map (fun (c : Component.t) -> c.name) analysis.Analysis.spec.Spec.components
+  in
+  for cyc = 1 to cycles do
+    Machine.run rtl ~cycles:1;
+    Circuit.step gates;
+    List.iter
+      (fun name ->
+        let w = max 1 (min 31 (Circuit.width gates name)) in
+        let expected = rtl.Machine.read name land Bits.ones w in
+        let got = Circuit.read gates name in
+        if expected <> got then
+          Alcotest.failf "%s: cycle %d, %s: rtl=%d gate=%d (width %d)" label cyc
+            name expected got w)
+      names
+  done
+
+let spec_test name source cycles () =
+  check_equivalence ~cycles name (load_string source)
+
+let test_tiny_computer () =
+  check_equivalence ~cycles:Asim_tinyc.Machine.demo_cycles "tiny computer"
+    (Analysis.analyze
+       (Asim_tinyc.Machine.spec ~program:Asim_tinyc.Machine.demo_image ()))
+
+let test_stack_machine () =
+  check_equivalence ~cycles:800 "stack machine"
+    (Analysis.analyze
+       (Asim_stackm.Microcode.spec ~program:Asim_stackm.Programs.sieve ()))
+
+let test_gate_level_sieve () =
+  (* The boolean network runs the thesis's flagship workload end to end. *)
+  let analysis =
+    Analysis.analyze (Asim_stackm.Microcode.spec ~program:Asim_stackm.Programs.sieve ())
+  in
+  let io, events = Io.recording () in
+  let gates = Circuit.of_analysis ~io analysis in
+  Circuit.run gates ~cycles:Asim_stackm.Programs.sieve_cycles;
+  let outs =
+    List.filter_map
+      (function Io.Output { data; _ } -> Some data | Io.Input _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list int))
+    "primes from gates" Asim_stackm.Programs.sieve_expected_primes outs
+
+let test_stats_and_describe () =
+  let gates = Circuit.of_analysis (load_string Specs.counter) in
+  let s = Circuit.stats gates in
+  Alcotest.(check bool) "has gates" true (s.Circuit.gate_count > 0);
+  Alcotest.(check int) "31 flip-flops for the counter register" 31 s.Circuit.dff_count;
+  Alcotest.(check int) "no macros needed" 0 s.Circuit.macro_count;
+  let d = Circuit.describe gates in
+  Alcotest.(check bool) "describes the register" true
+    (String.length d > 0)
+
+let test_macro_fallbacks () =
+  (* A computed ALU function and a multi-cell RAM must fall back to
+     behavioral macros, per the thesis's mixed-level stance (§2.2.3.1). *)
+  let source =
+    "#m\nc inc dyn ram .\nA inc 4 c 1\nA dyn c.0.3 6 3\nM ram c.0.1 c 1 4\nM c 0 inc 1 1\n.\n"
+  in
+  let gates = Circuit.of_analysis (load_string source) in
+  let s = Circuit.stats gates in
+  Alcotest.(check bool) "macros present" true (s.Circuit.macro_count >= 2);
+  check_equivalence ~cycles:12 "macro fallback" (load_string source)
+
+let test_update_order_hazard_rejected () =
+  let source = "#m\na b .\nM a 0 b 1 1\nM b 0 a 1 1\n.\n" in
+  match Circuit.of_analysis (load_string source) with
+  | exception Error.Error { phase = Error.Analysis; _ } -> ()
+  | _ -> Alcotest.fail "expected gate-level rejection of the update-order hazard"
+
+let test_width_reporting () =
+  let gates = Circuit.of_analysis (load_string Specs.gray_code) in
+  Alcotest.(check int) "gray is 4 bits" 4 (Circuit.width gates "gray");
+  Alcotest.(check bool) "unknown name" true
+    (match Circuit.read gates "nonexistent" with
+    | exception Error.Error _ -> true
+    | _ -> false)
+
+let test_adder_subtractor_bits () =
+  (* Direct check of the ripple-carry lowerings on a little ALU spec. *)
+  let source =
+    "#m\nsum diff a b .\nA sum 4 a.0.7 b.0.7\nA diff 5 a.0.7 b.0.7\n\
+     M a 0 sum.0.7 1 1\nM b 0 17 1 1\n.\n"
+  in
+  check_equivalence ~cycles:16 "adder/subtractor" (load_string source)
+
+let () =
+  Alcotest.run "gates"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "counter" `Quick (spec_test "counter" Specs.counter 24);
+          Alcotest.test_case "gray code" `Quick (spec_test "gray" Specs.gray_code 20);
+          Alcotest.test_case "divider" `Quick (spec_test "divider" Specs.divider 20);
+          Alcotest.test_case "traffic light" `Quick
+            (spec_test "traffic" Specs.traffic_light 40);
+          Alcotest.test_case "multiplier" `Quick
+            (spec_test "multiplier" Specs.multiplier 16);
+          Alcotest.test_case "modular divider" `Quick
+            (spec_test "divider-modular" Specs.divider_modular 16);
+          Alcotest.test_case "seven segment" `Quick
+            (spec_test "seven-segment" Specs.seven_segment 16);
+          Alcotest.test_case "pwm" `Quick (spec_test "pwm" Specs.pwm 32);
+          Alcotest.test_case "shifter" `Quick (spec_test "shifter" Specs.shifter 20);
+          Alcotest.test_case "tiny computer" `Quick test_tiny_computer;
+          Alcotest.test_case "stack machine (800 cycles)" `Quick test_stack_machine;
+          Alcotest.test_case "adder/subtractor" `Quick test_adder_subtractor_bits;
+        ] );
+      ( "workloads",
+        [ Alcotest.test_case "sieve end-to-end" `Slow test_gate_level_sieve ] );
+      ( "structure",
+        [
+          Alcotest.test_case "stats and describe" `Quick test_stats_and_describe;
+          Alcotest.test_case "macro fallbacks" `Quick test_macro_fallbacks;
+          Alcotest.test_case "hazard rejected" `Quick test_update_order_hazard_rejected;
+          Alcotest.test_case "width reporting" `Quick test_width_reporting;
+        ] );
+    ]

@@ -1,0 +1,98 @@
+(* Numeric literal parsing ([str2num] of Appendix C). *)
+
+open Asim_core
+
+let value s = Number.parse_value s
+
+let check = Alcotest.(check int)
+
+let test_decimal () =
+  check "0" 0 (value "0");
+  check "42" 42 (value "42");
+  check "3048" 3048 (value "3048");
+  check "leading zeros" 7 (value "007")
+
+let test_binary () =
+  check "%0" 0 (value "%0");
+  check "%1" 1 (value "%1");
+  check "%1011" 11 (value "%1011");
+  check "%110" 6 (value "%110");
+  check "long" 255 (value "%11111111")
+
+let test_hex () =
+  check "$0" 0 (value "$0");
+  check "$F" 15 (value "$F");
+  check "$3A" 58 (value "$3A");
+  check "$5D" 93 (value "$5D");
+  check "mixed digits" 2748 (value "$ABC")
+
+let test_pow2 () =
+  check "^0" 1 (value "^0");
+  check "^4" 16 (value "^4");
+  check "^12" 4096 (value "^12");
+  check "^30" (1 lsl 30) (value "^30")
+
+let test_sums () =
+  (* The thesis's own decode-ROM entries. *)
+  check "128+3+^8" 387 (value "128+3+^8");
+  check "16+^5+^7+^8" (16 + 32 + 128 + 256) (value "16+^5+^7+^8");
+  check "%101+2" 7 (value "%101+2");
+  check "$A+%10+1" 13 (value "$A+%10+1")
+
+let malformed s () =
+  match Number.parse s with
+  | exception Error.Error { phase = Error.Parsing; _ } -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | terms -> Alcotest.failf "parsed %S as %s" s (Number.to_string terms)
+
+let test_is_number_start () =
+  Alcotest.(check bool) "digit" true (Number.is_number_start '7');
+  Alcotest.(check bool) "$" true (Number.is_number_start '$');
+  Alcotest.(check bool) "%" true (Number.is_number_start '%');
+  Alcotest.(check bool) "^" true (Number.is_number_start '^');
+  Alcotest.(check bool) "letter" false (Number.is_number_start 'a');
+  Alcotest.(check bool) "#" false (Number.is_number_start '#')
+
+let prop_roundtrip =
+  let term =
+    QCheck.Gen.(
+      oneof
+        [
+          map (fun v -> Number.Decimal v) (int_bound 100000);
+          map (fun v -> Number.Hex v) (int_bound 100000);
+          map (fun v -> Number.Binary (v, Asim_core.Bits.width_needed v)) (int_bound 4095);
+          map (fun e -> Number.Pow2 e) (int_bound 30);
+        ])
+  in
+  let gen = QCheck.Gen.(list_size (int_range 1 4) term) in
+  QCheck.Test.make ~name:"print/parse round-trip preserves value" ~count:300
+    (QCheck.make ~print:Number.to_string gen)
+    (fun terms ->
+      Number.value (Number.parse (Number.to_string terms)) = Number.value terms)
+
+let () =
+  Alcotest.run "number"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "decimal" `Quick test_decimal;
+          Alcotest.test_case "binary" `Quick test_binary;
+          Alcotest.test_case "hex" `Quick test_hex;
+          Alcotest.test_case "power of two" `Quick test_pow2;
+          Alcotest.test_case "sums" `Quick test_sums;
+          Alcotest.test_case "is_number_start" `Quick test_is_number_start;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "empty" `Quick (malformed "");
+          Alcotest.test_case "letters" `Quick (malformed "abc");
+          Alcotest.test_case "trailing plus" `Quick (malformed "1+");
+          Alcotest.test_case "double plus" `Quick (malformed "1++2");
+          Alcotest.test_case "bare percent" `Quick (malformed "%");
+          Alcotest.test_case "bad binary digit" `Quick (malformed "%12");
+          Alcotest.test_case "bare dollar" `Quick (malformed "$");
+          Alcotest.test_case "lowercase hex" `Quick (malformed "$ab");
+          Alcotest.test_case "bare caret" `Quick (malformed "^");
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_roundtrip ]);
+    ]

@@ -1,0 +1,111 @@
+(* The generate → compile → execute pipeline: generated simulators must
+   reproduce the in-process engines' output byte for byte. *)
+
+open Asim
+module Codegen = Asim_codegen.Codegen
+module Pipeline = Asim_codegen.Pipeline
+
+let reference_trace source cycles =
+  let analysis = load_string source in
+  let buf = Buffer.create 1024 in
+  let config = { Machine.quiet_config with trace = Trace.buffer_sink buf } in
+  let m = Interp.create ~config analysis in
+  Machine.run m ~cycles;
+  Buffer.contents buf
+
+let pipeline_output lang source cycles =
+  match Pipeline.run ~cycles ~lang (load_string source) with
+  | Ok r -> Ok r.Pipeline.output
+  | Error e -> Error e
+
+let check_lang lang label source cycles =
+  if not (Pipeline.compiler_available lang) then
+    Printf.printf "[skip] no %s compiler\n" (Codegen.lang_to_string lang)
+  else
+    match pipeline_output lang source cycles with
+    | Error e -> Alcotest.failf "%s pipeline failed: %s" label e
+    | Ok output ->
+        Alcotest.(check string) label (reference_trace source cycles) output
+
+let test_counter_ocaml () = check_lang Codegen.Ocaml "counter/ocaml" Specs.counter 8
+
+let test_counter_c () = check_lang Codegen.C "counter/c" Specs.counter 8
+
+let test_gray_ocaml () = check_lang Codegen.Ocaml "gray/ocaml" Specs.gray_code 16
+
+let test_gray_c () = check_lang Codegen.C "gray/c" Specs.gray_code 16
+
+let test_traffic_ocaml () =
+  check_lang Codegen.Ocaml "traffic/ocaml" Specs.traffic_light 40
+
+let test_divider_c () = check_lang Codegen.C "divider/c" Specs.divider 16
+
+(* A spec with write-trace lines and a dynamic memory operation, to cover the
+   trace-emission paths of the generated code.  [c] steps by 4 so the dynamic
+   operation cycles through read / read-with-trace without ever selecting
+   memory-mapped I/O (whose routing legitimately differs between the
+   in-process handlers and a standalone binary's stdin/stdout). *)
+let tracing_spec =
+  "# tracing\nc inc m d .\nA inc 4 c 4\nM m 0 c 5 1\nM d 0 0 c.0.3 1\nM c 0 inc 1 1\n.\n"
+
+let test_tracing_ocaml () = check_lang Codegen.Ocaml "tracing/ocaml" tracing_spec 12
+
+let test_tracing_c () = check_lang Codegen.C "tracing/c" tracing_spec 12
+
+(* The full Figure 5.1 workload: the generated simulator runs the sieve and
+   prints the primes. *)
+let test_sieve_ocaml () =
+  if not (Pipeline.compiler_available Codegen.Ocaml) then
+    print_endline "[skip] no ocaml compiler"
+  else begin
+    let analysis =
+      Asim_analysis.Analysis.analyze
+        (Asim_stackm.Microcode.spec ~program:Asim_stackm.Programs.sieve ())
+    in
+    match
+      Pipeline.run ~cycles:Asim_stackm.Programs.sieve_cycles ~lang:Codegen.Ocaml
+        analysis
+    with
+    | Error e -> Alcotest.failf "sieve pipeline failed: %s" e
+    | Ok r ->
+        let timings = r.Pipeline.timings in
+        Alcotest.(check bool) "stage timings positive" true
+          (timings.Pipeline.generate_s >= 0.
+          && timings.Pipeline.compile_s > 0.
+          && timings.Pipeline.run_s >= 0.);
+        (* Every prime appears as an integer output line. *)
+        let lines = String.split_on_char '\n' r.Pipeline.output in
+        List.iter
+          (fun p ->
+            let line = string_of_int p in
+            if not (List.mem line lines) then
+              Alcotest.failf "prime %d missing from pipeline output" p)
+          Asim_stackm.Programs.sieve_expected_primes
+  end
+
+let test_unavailable_language () =
+  match Pipeline.run ~lang:Codegen.Pascal (load_string Specs.counter) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected Pascal pipeline to be unavailable"
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "ocaml backend",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_ocaml;
+          Alcotest.test_case "gray code" `Quick test_gray_ocaml;
+          Alcotest.test_case "traffic light" `Quick test_traffic_ocaml;
+          Alcotest.test_case "trace lines" `Quick test_tracing_ocaml;
+          Alcotest.test_case "sieve (5545 cycles)" `Slow test_sieve_ocaml;
+        ] );
+      ( "c backend",
+        [
+          Alcotest.test_case "counter" `Quick test_counter_c;
+          Alcotest.test_case "gray code" `Quick test_gray_c;
+          Alcotest.test_case "divider" `Quick test_divider_c;
+          Alcotest.test_case "trace lines" `Quick test_tracing_c;
+        ] );
+      ( "errors",
+        [ Alcotest.test_case "unavailable language" `Quick test_unavailable_language ] );
+    ]

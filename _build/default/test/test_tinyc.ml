@@ -1,0 +1,270 @@
+(* The Appendix F tiny computer: ISA, assembler, and instruction semantics
+   verified opcode by opcode. *)
+
+module Isa = Asim_tinyc.Isa
+module Asm = Asim_tinyc.Asm
+module Machine = Asim_tinyc.Machine
+
+(* --- ISA ----------------------------------------------------------------- *)
+
+let test_encode () =
+  Alcotest.(check int) "LD 30" ((2 lsl 7) lor 30) (Isa.encode Isa.Ld 30);
+  Alcotest.(check int) "ST 0" (3 lsl 7) (Isa.encode Isa.St 0);
+  Alcotest.(check int) "SU 127" ((6 lsl 7) lor 127) (Isa.encode Isa.Su 127);
+  Alcotest.check_raises "address range" (Invalid_argument "Isa.encode: address")
+    (fun () -> ignore (Isa.encode Isa.Ld 128))
+
+let test_decode () =
+  List.iter
+    (fun op ->
+      match Isa.decode (Isa.encode op 77) with
+      | Some (decoded, 77) when decoded = op -> ()
+      | _ -> Alcotest.failf "round-trip failed for %s" (Isa.opcode_name op))
+    [ Isa.Ld; Isa.St; Isa.Bb; Isa.Br; Isa.Su ];
+  Alcotest.(check bool) "data word" true (Isa.decode 42 = None);
+  Alcotest.(check bool) "opcode 7" true (Isa.decode (7 lsl 7) = None)
+
+let test_disassemble () =
+  Alcotest.(check string) "instruction" "BB 8" (Isa.disassemble (Isa.encode Isa.Bb 8));
+  Alcotest.(check string) "data" "42" (Isa.disassemble 42)
+
+(* --- assembler -------------------------------------------------------------- *)
+
+let test_assemble_labels () =
+  let image =
+    Asm.assemble [ Asm.label "start"; Asm.br "start"; Asm.org 10; Asm.word 7 ]
+  in
+  Alcotest.(check int) "br start" (Isa.encode Isa.Br 0) image.(0);
+  Alcotest.(check int) "data at 10" 7 image.(10)
+
+let asm_error lines =
+  match Asm.assemble lines with
+  | exception Asim.Error.Error _ -> ()
+  | _ -> Alcotest.fail "expected assembler error"
+
+let test_assemble_errors () =
+  asm_error [ Asm.label "x"; Asm.label "x" ];
+  asm_error [ Asm.br "ghost" ];
+  asm_error [ Asm.org 200 ];
+  asm_error [ Asm.word 1; Asm.org 0; Asm.word 2 ] (* overlap *)
+
+(* --- instruction semantics ---------------------------------------------------- *)
+
+(* Run a program fragment for a whole number of instructions. *)
+let run_instrs lines n =
+  Machine.run ~cycles:(n * Isa.cycles_per_instruction) (Asm.assemble lines)
+
+let test_ld () =
+  let obs = run_instrs [ Asm.ld "v"; Asm.org 20; Asm.label "v"; Asm.word 123 ] 1 in
+  Alcotest.(check int) "accumulator loaded" 123 obs.Machine.ac
+
+let test_st () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.st "b"; Asm.org 20; Asm.label "a"; Asm.word 9;
+        Asm.label "b"; Asm.word 0 ]
+      2
+  in
+  Alcotest.(check int) "stored" 9 obs.Machine.memory.(21)
+
+let test_su_positive () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.su "b"; Asm.org 20; Asm.label "a"; Asm.word 9;
+        Asm.label "b"; Asm.word 4 ]
+      2
+  in
+  Alcotest.(check int) "difference" 5 obs.Machine.ac;
+  Alcotest.(check int) "no borrow" 0 obs.Machine.borrow
+
+let test_su_borrow () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.su "b"; Asm.org 20; Asm.label "a"; Asm.word 4;
+        Asm.label "b"; Asm.word 9 ]
+      2
+  in
+  (* 4 - 9 in the 11-bit accumulator is 2043; the borrow flag latches. *)
+  Alcotest.(check int) "wrapped difference" 2043 obs.Machine.ac;
+  Alcotest.(check int) "borrow set" 1 obs.Machine.borrow
+
+let test_borrow_clears () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.su "b"; Asm.ld "a"; Asm.su "c"; Asm.org 20;
+        Asm.label "a"; Asm.word 4; Asm.label "b"; Asm.word 9;
+        Asm.label "c"; Asm.word 1 ]
+      4
+  in
+  Alcotest.(check int) "second subtract clears borrow" 0 obs.Machine.borrow;
+  Alcotest.(check int) "ac" 3 obs.Machine.ac
+
+let test_br () =
+  let obs =
+    run_instrs [ Asm.br "target"; Asm.org 5; Asm.label "target"; Asm.br "target" ] 2
+  in
+  Alcotest.(check int) "pc follows branch" 5 obs.Machine.pc
+
+let test_bb_taken () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.su "b"; Asm.bb "yes"; Asm.br "no"; Asm.org 10;
+        Asm.label "yes"; Asm.br "yes"; Asm.org 12; Asm.label "no"; Asm.br "no";
+        Asm.org 20; Asm.label "a"; Asm.word 1; Asm.label "b"; Asm.word 2 ]
+      4
+  in
+  Alcotest.(check int) "borrow branch taken" 10 obs.Machine.pc
+
+let test_bb_not_taken () =
+  let obs =
+    run_instrs
+      [ Asm.ld "a"; Asm.su "b"; Asm.bb "yes"; Asm.br "no"; Asm.org 10;
+        Asm.label "yes"; Asm.br "yes"; Asm.org 12; Asm.label "no"; Asm.br "no";
+        Asm.org 20; Asm.label "a"; Asm.word 2; Asm.label "b"; Asm.word 1 ]
+      4
+  in
+  Alcotest.(check int) "borrow branch skipped" 12 obs.Machine.pc
+
+(* --- textual assembly ----------------------------------------------------------- *)
+
+let run_instrs' image n = Machine.run ~cycles:(n * Isa.cycles_per_instruction) image
+
+let test_asmtext () =
+  let source =
+    "; subtract and halt\n\
+     \tLD a\n\
+     \tSU b      ; comment\n\
+     \tST diff\n\
+     halt: BR halt\n\
+     \t.org 20\n\
+     a: .word 9\n\
+     b: .word 4\n\
+     diff: .word 0\n"
+  in
+  let image = Asm.assemble (Asim_tinyc.Asmtext.parse source) in
+  let obs = run_instrs' image 8 in
+  Alcotest.(check int) "difference stored" 5 obs.Machine.memory.(22);
+  Alcotest.(check int) "spinning at halt" 3 obs.Machine.pc
+
+let test_asmtext_errors () =
+  let bad source =
+    match Asim_tinyc.Asmtext.parse source with
+    | exception Asim.Error.Error { phase = Asim.Error.Parsing; _ } -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" source
+  in
+  bad "FROB 3\n";
+  bad "LD\n";
+  bad "LD one two\n";
+  bad ".word xyz\n"
+
+(* --- demo program -------------------------------------------------------------- *)
+
+let test_demo () =
+  let obs = Machine.run Machine.demo_image in
+  (* 10 - 3 stored, counted down past zero: memory holds -1 (11-bit 2047),
+     borrow halted the loop at the spin instruction. *)
+  Alcotest.(check int) "halt address" 8 obs.Machine.pc;
+  Alcotest.(check int) "borrow" 1 obs.Machine.borrow;
+  Alcotest.(check int) "counted past zero" 2047 obs.Machine.memory.(31);
+  Alcotest.(check int) "operands intact" 10 obs.Machine.memory.(28)
+
+let test_isp_matches_rtl () =
+  (* Instruction-level and register-transfer simulations of the demo must
+     land in the same architectural state. *)
+  let isp = Asim_tinyc.Ispsim.create Machine.demo_image in
+  ignore (Asim_tinyc.Ispsim.run isp);
+  let isp_obs = Asim_tinyc.Ispsim.observe isp in
+  let rtl_obs = Machine.run Machine.demo_image in
+  Alcotest.(check int) "pc" rtl_obs.Machine.pc isp_obs.Machine.pc;
+  Alcotest.(check int) "ac" rtl_obs.Machine.ac isp_obs.Machine.ac;
+  Alcotest.(check int) "borrow" rtl_obs.Machine.borrow isp_obs.Machine.borrow;
+  Alcotest.(check (list int))
+    "memory" (Array.to_list rtl_obs.Machine.memory)
+    (Array.to_list isp_obs.Machine.memory)
+
+let test_isp_instruction_count () =
+  let isp = Asim_tinyc.Ispsim.create Machine.demo_image in
+  let n = Asim_tinyc.Ispsim.run isp in
+  (* 3 setup + 8 loops of 5 + the final taken BB = 44, plus the halt BR *)
+  Alcotest.(check bool) "plausible count" true (n > 40 && n < 50)
+
+let test_demo_engines_agree () =
+  let interp = Machine.run ~engine:`Interp Machine.demo_image in
+  let compiled = Machine.run ~engine:`Compiled Machine.demo_image in
+  Alcotest.(check bool) "observations equal" true (interp = compiled)
+
+let test_four_cycles_per_instruction () =
+  (* After exactly 4 cycles, the first LD has completed. *)
+  let obs = run_instrs [ Asm.ld "v"; Asm.org 20; Asm.label "v"; Asm.word 55 ] 1 in
+  Alcotest.(check int) "loaded in one instruction time" 55 obs.Machine.ac;
+  Alcotest.(check int) "pc advanced once" 1 obs.Machine.pc
+
+let () =
+  Alcotest.run "tinyc"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "encode" `Quick test_encode;
+          Alcotest.test_case "decode" `Quick test_decode;
+          Alcotest.test_case "disassemble" `Quick test_disassemble;
+        ] );
+      ( "assembler",
+        [
+          Alcotest.test_case "labels and org" `Quick test_assemble_labels;
+          Alcotest.test_case "errors" `Quick test_assemble_errors;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "LD" `Quick test_ld;
+          Alcotest.test_case "ST" `Quick test_st;
+          Alcotest.test_case "SU positive" `Quick test_su_positive;
+          Alcotest.test_case "SU borrow" `Quick test_su_borrow;
+          Alcotest.test_case "borrow clears" `Quick test_borrow_clears;
+          Alcotest.test_case "BR" `Quick test_br;
+          Alcotest.test_case "BB taken" `Quick test_bb_taken;
+          Alcotest.test_case "BB not taken" `Quick test_bb_not_taken;
+          Alcotest.test_case "timing" `Quick test_four_cycles_per_instruction;
+        ] );
+      ( "asm text",
+        [
+          Alcotest.test_case "assemble and run" `Quick test_asmtext;
+          Alcotest.test_case "errors" `Quick test_asmtext_errors;
+        ] );
+      ( "demo",
+        [
+          Alcotest.test_case "computation" `Quick test_demo;
+          Alcotest.test_case "engines agree" `Quick test_demo_engines_agree;
+        ] );
+      ( "multiply",
+        [
+          Alcotest.test_case "7 x 3" `Quick (fun () ->
+              let image = Asm.assemble (Machine.multiply_program 7 3) in
+              let obs = Machine.run ~cycles:2000 image in
+              Alcotest.(check int) "product" 21
+                (obs.Machine.memory.(Machine.multiply_product_address) land 1023));
+          Alcotest.test_case "edge cases" `Quick (fun () ->
+              List.iter
+                (fun (a, b) ->
+                  let image = Asm.assemble (Machine.multiply_program a b) in
+                  let obs = Machine.run ~cycles:12000 image in
+                  Alcotest.(check int)
+                    (Printf.sprintf "%d x %d" a b)
+                    (a * b mod 1024)
+                    (obs.Machine.memory.(Machine.multiply_product_address) land 1023))
+                [ (0, 5); (5, 0); (1, 9); (31, 31); (100, 10) ]);
+          Alcotest.test_case "isp agrees" `Quick (fun () ->
+              let image = Asm.assemble (Machine.multiply_program 12 12) in
+              let rtl = Machine.run ~cycles:6000 image in
+              let isp = Asim_tinyc.Ispsim.create image in
+              ignore (Asim_tinyc.Ispsim.run isp);
+              let iobs = Asim_tinyc.Ispsim.observe isp in
+              Alcotest.(check int) "product"
+                (rtl.Machine.memory.(Machine.multiply_product_address))
+                iobs.Machine.memory.(Machine.multiply_product_address));
+        ] );
+      ( "isp level",
+        [
+          Alcotest.test_case "matches RTL" `Quick test_isp_matches_rtl;
+          Alcotest.test_case "instruction count" `Quick test_isp_instruction_count;
+        ] );
+    ]
