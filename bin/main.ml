@@ -559,6 +559,139 @@ let wavediff_cmd =
        ~doc:"Compare two VCD waveform dumps (e.g. a healthy and a fault-injected run).")
     Term.(const run $ vcd_pos 0 "First waveform." $ vcd_pos 1 "Second waveform.")
 
+(* --- fuzz ------------------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let run seed count start max_comb max_mem cycles wide engines artifacts
+      time_budget inject_bug print_specs no_shrink quiet =
+    let size = { Asim_fuzz.Gen.max_comb; max_mem; cycles; wide } in
+    let engines = if inject_bug then engines @ [ Asim_fuzz.Oracle.Buggy ] else engines in
+    (match engines with
+    | [] | [ _ ] ->
+        prerr_endline "asim: fuzz needs at least two engines to compare";
+        exit 2
+    | _ -> ());
+    let on_spec index spec =
+      if print_specs then
+        Printf.printf "# --- spec %d ---\n%s" index (Asim.Pretty.spec spec)
+    in
+    let log = if quiet then fun _ -> () else print_endline in
+    let outcome =
+      Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~engines ~start
+        ~shrink:(not no_shrink) ~on_spec ~log ~seed ~count ~size ()
+    in
+    List.iter
+      (fun r -> print_endline (Asim_fuzz.Runner.report_to_string r))
+      outcome.Asim_fuzz.Runner.reports;
+    print_endline (Asim_fuzz.Runner.summary ~seed ~engines outcome);
+    if outcome.Asim_fuzz.Runner.reports <> [] then exit 1
+  in
+  let engine_conv =
+    Arg.conv
+      ( (fun s ->
+          match Asim_fuzz.Oracle.engine_of_string s with
+          | Some e -> Ok e
+          | None -> Error (`Msg ("unknown engine " ^ s))),
+        fun ppf e -> Format.pp_print_string ppf (Asim_fuzz.Oracle.engine_to_string e) )
+  in
+  let seed_arg =
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc:"Campaign seed.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of random specifications to test.")
+  in
+  let start_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "start" ] ~docv:"N"
+          ~doc:
+            "First campaign index (reproducer bundles name the index of the \
+             diverging spec; replay it with $(b,--start N --count 1)).")
+  in
+  let max_components_arg =
+    Arg.(
+      value & opt int 6
+      & info [ "max-components" ] ~docv:"N"
+          ~doc:"Upper bound on combinational components per spec.")
+  in
+  let max_memories_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "max-memories" ] ~docv:"N" ~doc:"Upper bound on memories per spec.")
+  in
+  let fuzz_cycles_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "cycles" ] ~docv:"N" ~doc:"Cycles to simulate each spec for.")
+  in
+  let wide_arg =
+    Arg.(
+      value & flag
+      & info [ "wide" ]
+          ~doc:
+            "Also generate filling atoms (whole-word references, un-suffixed \
+             constants): full-word values and negative intermediates.")
+  in
+  let engines_arg =
+    Arg.(
+      value
+      & opt (list engine_conv) Asim_fuzz.Oracle.all
+      & info [ "engines" ] ~docv:"LIST"
+          ~doc:
+            "Comma-separated engines to compare (first is the reference): \
+             $(b,interp), $(b,compiled), $(b,unoptimized), $(b,lowered), \
+             $(b,buggy).")
+  in
+  let artifacts_arg =
+    Arg.(
+      value
+      & opt (some string) (Some "fuzz-artifacts")
+      & info [ "artifacts-dir" ] ~docv:"DIR"
+          ~doc:"Where to write reproducer bundles (created on first failure).")
+  in
+  let time_budget_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "time-budget" ] ~docv:"SECONDS"
+          ~doc:"Stop starting new specs once this much wall-clock time has elapsed.")
+  in
+  let inject_bug_arg =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Add the deliberately faulty engine (constant ALU add computes \
+             sub) to the comparison set — a self-test that the oracle \
+             detects divergences and the shrinker minimizes them.")
+  in
+  let print_specs_arg =
+    Arg.(
+      value & flag
+      & info [ "print-specs" ]
+          ~doc:"Print every generated specification (deterministic per seed).")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag & info [ "no-shrink" ] ~doc:"Skip minimizing failures.")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate random well-formed specifications \
+          and check that every simulation engine observes identical behavior \
+          (the paper's compiled-equals-interpreted claim); shrink and save \
+          any counterexample.")
+    Term.(
+      const run $ seed_arg $ count_arg $ start_arg $ max_components_arg
+      $ max_memories_arg $ fuzz_cycles_arg $ wide_arg $ engines_arg
+      $ artifacts_arg $ time_budget_arg $ inject_bug_arg $ print_specs_arg
+      $ no_shrink_arg $ quiet_arg)
+
 (* --- fmt -------------------------------------------------------------------- *)
 
 let fmt_cmd =
@@ -597,4 +730,5 @@ let () =
   let info = Cmd.info "asim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ check_cmd; run_cmd; codegen_cmd; pipeline_cmd; netlist_cmd; gates_cmd;
-      profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fmt_cmd; example_cmd ]))
+      profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fuzz_cmd; fmt_cmd;
+      example_cmd ]))

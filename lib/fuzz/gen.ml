@@ -1,0 +1,157 @@
+open Asim_core
+
+type size = {
+  max_comb : int;
+  max_mem : int;
+  cycles : int;
+  wide : bool;
+}
+
+let default_size = { max_comb = 6; max_mem = 3; cycles = 20; wide = false }
+
+(* Draws, [a..b] and [0..n] inclusive. *)
+let range st a b = if b <= a then a else a + Random.State.int st (b - a + 1)
+
+let upto st n = if n <= 0 then 0 else Random.State.int st (n + 1)
+
+let mem_name i = Printf.sprintf "m%d" i
+
+let comb_name i = Printf.sprintf "c%d" i
+
+(* The shape fixes how many components exist, so atom generators can pick
+   names that are guaranteed to resolve. *)
+type shape = { n_comb : int; n_mem : int }
+
+(* A narrow atom reading earlier combinational components (index < limit) or
+   any memory; every atom is a small field, so widths always fit. *)
+let gen_atom st ~shape ~limit =
+  let gen_ref () =
+    let use_mem =
+      if limit = 0 then true
+      else if shape.n_mem = 0 then false
+      else Random.State.bool st
+    in
+    let name =
+      if use_mem then mem_name (upto st (shape.n_mem - 1))
+      else comb_name (upto st (limit - 1))
+    in
+    let lo = upto st 8 in
+    let w = range st 1 4 in
+    Expr.ref_range name lo (lo + w - 1)
+  and gen_const () =
+    let v = upto st 15 in
+    let w = range st 1 4 in
+    Expr.num_w v ~width:w
+  in
+  if limit = 0 && shape.n_mem = 0 then gen_const ()
+  else if Random.State.bool st then gen_ref ()
+  else gen_const ()
+
+let gen_expr st ~shape ~limit =
+  let n = range st 1 3 in
+  List.init n (fun _ -> gen_atom st ~shape ~limit)
+
+(* A filling atom: a whole-component reference or an un-suffixed constant.
+   Legal only leftmost; exercises full-word values and negative
+   intermediates. *)
+let gen_filling_atom st ~shape ~limit =
+  let gen_ref () =
+    let use_mem =
+      if limit = 0 then true
+      else if shape.n_mem = 0 then false
+      else Random.State.bool st
+    in
+    let name =
+      if use_mem then mem_name (upto st (shape.n_mem - 1))
+      else comb_name (upto st (limit - 1))
+    in
+    Expr.ref_ name
+  in
+  if (limit > 0 || shape.n_mem > 0) && Random.State.bool st then gen_ref ()
+  else Expr.num (upto st 65535)
+
+let gen_expr_wide st ~shape ~limit =
+  let narrow = gen_expr st ~shape ~limit in
+  match range st 0 2 with
+  | 0 -> narrow
+  | 1 -> gen_filling_atom st ~shape ~limit :: narrow
+  | _ -> [ gen_filling_atom st ~shape ~limit ]
+
+let gen_alu st ~shape ~limit ~wide name =
+  let fn =
+    if Random.State.bool st then [ Expr.num (upto st 13) ]
+    else gen_expr st ~shape ~limit
+  in
+  let operand = if wide then gen_expr_wide else gen_expr in
+  let left = operand st ~shape ~limit in
+  let right = operand st ~shape ~limit in
+  { Component.name; kind = Component.Alu { fn; left; right } }
+
+let gen_selector st ~shape ~limit name =
+  let bits = range st 1 3 in
+  let cases_n = 1 lsl bits in
+  let select =
+    if limit = 0 && shape.n_mem = 0 then [ Expr.num (upto st (cases_n - 1)) ]
+    else
+      match gen_atom st ~shape ~limit with
+      | Expr.Ref { name; _ } -> [ Expr.ref_range name 0 (bits - 1) ]
+      | _ -> [ Expr.num (upto st (cases_n - 1)) ]
+  in
+  let cases = Array.init cases_n (fun _ -> gen_expr st ~shape ~limit) in
+  { Component.name; kind = Component.Selector { select; cases } }
+
+let gen_memory st ~shape ~wide name =
+  let limit = shape.n_comb in
+  let addr_bits = range st 0 4 in
+  let cells = 1 lsl addr_bits in
+  let addr =
+    if addr_bits = 0 then [ Expr.num 0 ]
+    else
+      match gen_atom st ~shape ~limit with
+      | Expr.Ref { name; _ } -> [ Expr.ref_range name 0 (addr_bits - 1) ]
+      | _ -> [ Expr.num (upto st (cells - 1)) ]
+  in
+  let data =
+    if wide then gen_expr_wide st ~shape ~limit else gen_expr st ~shape ~limit
+  in
+  let op =
+    if Random.State.bool st then [ Expr.num (upto st 15) ]
+    else [ gen_atom st ~shape ~limit ]
+  in
+  let init =
+    if Random.State.bool st then None
+    else Some (Array.init cells (fun _ -> upto st 1000))
+  in
+  { Component.name; kind = Component.Memory { addr; data; op; cells; init } }
+
+let spec size st =
+  let wide = size.wide in
+  let n_comb = range st 1 (max 1 size.max_comb) in
+  let n_mem = range st 1 (max 1 size.max_mem) in
+  let shape = { n_comb; n_mem } in
+  let combs =
+    List.init n_comb (fun i ->
+        if Random.State.bool st then gen_alu st ~shape ~limit:i ~wide (comb_name i)
+        else gen_selector st ~shape ~limit:i (comb_name i))
+  in
+  let mems = List.init n_mem (fun i -> gen_memory st ~shape ~wide (mem_name i)) in
+  let components = combs @ mems in
+  let decls =
+    List.map
+      (fun (c : Component.t) ->
+        { Spec.name = c.name; traced = wide || Random.State.bool st })
+      components
+  in
+  {
+    Spec.comment = (if wide then "random-wide" else "random");
+    cycles = Some size.cycles;
+    decls;
+    components;
+  }
+
+let spec_at size ~seed ~index =
+  (* Each index derives its own state, so replaying spec [index] never needs
+     the indices before it. *)
+  let st = Random.State.make [| 0x5eed; seed; index |] in
+  let s = spec size st in
+  { s with Spec.comment = Printf.sprintf "fuzz seed=%d index=%d" seed index }

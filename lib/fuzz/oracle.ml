@@ -1,0 +1,183 @@
+open Asim_core
+open Asim_sim
+
+type engine = Interp | Compiled | Unoptimized | Lowered | Buggy
+
+let all = [ Interp; Compiled; Unoptimized; Lowered ]
+
+let engine_to_string = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Unoptimized -> "unoptimized"
+  | Lowered -> "lowered"
+  | Buggy -> "buggy"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "interp" | "interpreter" | "asim" -> Some Interp
+  | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
+  | "unoptimized" | "unopt" -> Some Unoptimized
+  | "lowered" | "lower" | "ir" -> Some Lowered
+  | "buggy" -> Some Buggy
+  | _ -> None
+
+(* The deliberate semantic bug behind the [Buggy] engine: every ALU whose
+   function expression is the constant 4 (add) computes 5 (sub) instead. *)
+let inject_bug (spec : Spec.t) =
+  let corrupt (c : Component.t) =
+    match c.kind with
+    | Component.Alu ({ fn; _ } as alu) when Expr.const_value fn = Some 4 ->
+        { c with Component.kind = Component.Alu { alu with fn = [ Expr.num 5 ] } }
+    | _ -> c
+  in
+  { spec with Spec.components = List.map corrupt spec.Spec.components }
+
+let build engine ~config (analysis : Asim_analysis.Analysis.t) =
+  match engine with
+  | Interp -> Asim_interp.Interp.create ~config analysis
+  | Compiled -> Asim_compile.Compile.create ~config analysis
+  | Unoptimized -> Asim_compile.Compile.create ~config ~optimize:false analysis
+  | Lowered -> Loweval.create ~config analysis
+  | Buggy ->
+      Asim_compile.Compile.create ~config
+        (Asim_analysis.Analysis.analyze
+           (inject_bug analysis.Asim_analysis.Analysis.spec))
+
+type observation = {
+  snapshots : (string * int) list array;
+  trace : string;
+  events : Io.event list;
+  cells : (string * int list) list;
+  outputs : (string * int) list;
+  total_accesses : int;
+  error : string option;
+}
+
+let default_feed = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 ]
+
+let observe ?(feed = default_feed) ?cycles engine (spec : Spec.t) =
+  let cycles =
+    match cycles with
+    | Some n -> n
+    | None -> Option.value spec.Spec.cycles ~default:20
+  in
+  let analysis = Asim_analysis.Analysis.analyze spec in
+  let buf = Buffer.create 512 in
+  let io, events = Io.recording ~feed () in
+  let config = { Machine.io; trace = Trace.buffer_sink buf; faults = [] } in
+  let m = build engine ~config analysis in
+  let names = List.map (fun (c : Component.t) -> c.name) spec.Spec.components in
+  let snaps = ref [] in
+  let error = ref None in
+  (try
+     for _ = 1 to cycles do
+       Machine.run m ~cycles:1;
+       snaps := List.map (fun n -> (n, m.Machine.read n)) names :: !snaps
+     done
+   with Error.Error { phase = Error.Runtime; message; _ } -> error := Some message);
+  let cells =
+    List.filter_map
+      (fun (c : Component.t) ->
+        match c.kind with
+        | Component.Memory { cells; _ } ->
+            Some (c.name, List.init cells (fun i -> m.Machine.read_cell c.name i))
+        | _ -> None)
+      spec.Spec.components
+  in
+  {
+    snapshots = Array.of_list (List.rev !snaps);
+    trace = Buffer.contents buf;
+    events = events ();
+    cells;
+    outputs = List.map (fun n -> (n, m.Machine.read n)) names;
+    total_accesses = Stats.total_accesses m.Machine.stats;
+    error = !error;
+  }
+
+type divergence = {
+  engine_a : engine;
+  engine_b : engine;
+  first_cycle : int option;
+  reason : string;
+}
+
+let first_trace_diff a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | [], [] -> None
+    | x :: xs, y :: ys -> if x = y then go (i + 1) (xs, ys) else Some (i, x, y)
+    | x :: _, [] -> Some (i, x, "<end of trace>")
+    | [], y :: _ -> Some (i, "<end of trace>", y)
+  in
+  go 1 (la, lb)
+
+let diff ~engine_a ~engine_b (a : observation) (b : observation) =
+  if a = b then None
+  else begin
+    let first_cycle =
+      let n = min (Array.length a.snapshots) (Array.length b.snapshots) in
+      let rec go i =
+        if i >= n then
+          if Array.length a.snapshots <> Array.length b.snapshots then Some n
+          else None
+        else if a.snapshots.(i) <> b.snapshots.(i) then Some i
+        else go (i + 1)
+      in
+      go 0
+    in
+    let aspects =
+      List.filter_map
+        (fun (label, differs) -> if differs then Some label else None)
+        [
+          ("per-cycle outputs", a.snapshots <> b.snapshots);
+          ("trace", a.trace <> b.trace);
+          ("I/O events", a.events <> b.events);
+          ("memory cells", a.cells <> b.cells);
+          ("final outputs", a.outputs <> b.outputs);
+          ("statistics", a.total_accesses <> b.total_accesses);
+          ("runtime error", a.error <> b.error);
+        ]
+    in
+    let detail =
+      match first_trace_diff a.trace b.trace with
+      | Some (line, x, y) ->
+          Printf.sprintf "; trace line %d: %S vs %S" line x y
+      | None -> (
+          match (a.error, b.error) with
+          | ea, eb when ea <> eb ->
+              Printf.sprintf "; error %S vs %S"
+                (Option.value ~default:"-" ea)
+                (Option.value ~default:"-" eb)
+          | _ -> "")
+    in
+    Some
+      {
+        engine_a;
+        engine_b;
+        first_cycle;
+        reason = String.concat ", " aspects ^ detail;
+      }
+  end
+
+let check ?feed ?cycles ?(engines = all) spec =
+  match engines with
+  | [] | [ _ ] -> None
+  | reference :: rest ->
+      let ref_obs = observe ?feed ?cycles reference spec in
+      List.fold_left
+        (fun acc engine ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              diff ~engine_a:reference ~engine_b:engine ref_obs
+                (observe ?feed ?cycles engine spec))
+        None rest
+
+let divergence_to_string d =
+  Printf.sprintf "%s vs %s diverge%s: %s"
+    (engine_to_string d.engine_a)
+    (engine_to_string d.engine_b)
+    (match d.first_cycle with
+    | Some c -> Printf.sprintf " (first divergent cycle %d)" c
+    | None -> "")
+    d.reason

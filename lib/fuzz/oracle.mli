@@ -1,0 +1,74 @@
+(** Multi-engine differential oracle.
+
+    Runs one spec through every requested engine and compares everything the
+    paper treats as observable: per-cycle component outputs, trace text, I/O
+    event streams, final memory images, memory-access statistics, and
+    runtime errors.  The first engine of the list is the reference; the
+    first pair that disagrees yields a {!divergence}. *)
+
+type engine =
+  | Interp  (** the ASIM baseline interpreter *)
+  | Compiled  (** the ASIM II closure compiler, §4.4 optimizations on *)
+  | Unoptimized  (** the closure compiler with the optimizations disabled *)
+  | Lowered  (** the codegen lowering executed directly ({!Loweval}) *)
+  | Buggy
+      (** [Compiled] over a deliberately corrupted spec (every constant
+          ALU-function 4/add becomes 5/sub) — a fault-injected engine for
+          exercising the oracle and shrinker end to end *)
+
+val all : engine list
+(** The four honest engines: [Interp] (the reference), [Compiled],
+    [Unoptimized], [Lowered]. *)
+
+val engine_of_string : string -> engine option
+
+val engine_to_string : engine -> string
+
+val build :
+  engine -> config:Asim_sim.Machine.config -> Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t
+
+val inject_bug : Asim_core.Spec.t -> Asim_core.Spec.t
+(** The [Buggy] engine's corruption, exposed for tests: constant ALU
+    function add becomes sub.  Specs without a constant-add ALU are returned
+    unchanged (the buggy engine then behaves honestly). *)
+
+type observation = {
+  snapshots : (string * int) list array;
+      (** component outputs after each completed cycle *)
+  trace : string;
+  events : Asim_sim.Io.event list;
+  cells : (string * int list) list;  (** final memory images *)
+  outputs : (string * int) list;  (** final component outputs *)
+  total_accesses : int;
+  error : string option;  (** runtime error, if the run trapped *)
+}
+
+val default_feed : int list
+(** The input stream served to [op = 2] memories: the first 20 digits of pi,
+    repeated as needed. *)
+
+val observe : ?feed:int list -> ?cycles:int -> engine -> Asim_core.Spec.t -> observation
+(** Run [spec] on one engine for [cycles] (default: the spec's [= N]
+    directive, else 20), recording all observables.  A runtime error stops
+    the run and is recorded, not raised. *)
+
+type divergence = {
+  engine_a : engine;  (** the reference *)
+  engine_b : engine;
+  first_cycle : int option;
+      (** earliest cycle whose component outputs differ, if any do *)
+  reason : string;  (** which observables disagree, with the first detail *)
+}
+
+val diff :
+  engine_a:engine -> engine_b:engine -> observation -> observation ->
+  divergence option
+
+val check :
+  ?feed:int list -> ?cycles:int -> ?engines:engine list -> Asim_core.Spec.t ->
+  divergence option
+(** Observe [spec] on every engine (default {!all}) and compare each against
+    the first; [None] means all engines agree on everything. *)
+
+val divergence_to_string : divergence -> string

@@ -1,0 +1,162 @@
+open Asim_core
+
+type failure =
+  | Divergence of Oracle.divergence
+  | Roundtrip_mismatch
+
+type report = {
+  index : int;
+  failure : failure;
+  original : Spec.t;
+  shrunk : Spec.t;
+  bundle : string option;
+}
+
+type outcome = {
+  tested : int;
+  reports : report list;
+  elapsed : float;
+}
+
+let failure_to_string = function
+  | Divergence d -> Oracle.divergence_to_string d
+  | Roundtrip_mismatch -> "pretty-print/reparse round trip lost the spec"
+
+(* --- reproducer bundles ---------------------------------------------------- *)
+
+let rec ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    let parent = Filename.dirname path in
+    if parent <> path then ensure_dir parent;
+    (try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let roundtrips spec =
+  match Asim_syntax.Parser.parse_string (Pretty.spec spec) with
+  | reparsed -> reparsed = spec
+  | exception Error.Error _ -> false
+
+let write_bundle ~dir ~seed ~index ~failure ~original ~shrunk =
+  ensure_dir dir;
+  write_file (Filename.concat dir "repro.asim") (Pretty.spec shrunk);
+  write_file (Filename.concat dir "original.asim") (Pretty.spec original);
+  let meta =
+    String.concat "\n"
+      [
+        "asim fuzz reproducer";
+        Printf.sprintf "seed: %d" seed;
+        Printf.sprintf "index: %d" index;
+        Printf.sprintf "failure: %s" (failure_to_string failure);
+        (match failure with
+        | Divergence { engine_a; engine_b; first_cycle; _ } ->
+            Printf.sprintf "engine pair: %s vs %s%s"
+              (Oracle.engine_to_string engine_a)
+              (Oracle.engine_to_string engine_b)
+              (match first_cycle with
+              | Some c -> Printf.sprintf "\nfirst divergent cycle: %d" c
+              | None -> "")
+        | Roundtrip_mismatch -> "engine pair: pretty vs parser");
+        Printf.sprintf "components in shrunk repro: %d"
+          (List.length shrunk.Spec.components);
+        Printf.sprintf "replay the generated spec: asim fuzz --seed %d --start %d --count 1"
+          seed index;
+        "rerun the shrunk repro directly: asim run repro.asim (per engine via -e)";
+        "";
+      ]
+  in
+  write_file (Filename.concat dir "META.txt") meta
+
+(* --- the campaign ----------------------------------------------------------- *)
+
+let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
+    ?(shrink = true) ?(on_spec = fun _ _ -> ()) ?(log = fun _ -> ()) ~seed ~count
+    ~size () =
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun b -> t0 +. b) time_budget in
+  let tested = ref 0 in
+  let reports = ref [] in
+  let out_of_time () =
+    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+  in
+  let check_spec index spec =
+    if not (roundtrips spec) then Some Roundtrip_mismatch
+    else
+      match Oracle.check ?feed ~engines spec with
+      | Some d -> Some (Divergence d)
+      | None -> None
+      | exception Error.Error e ->
+          (* Engine construction itself failed: report it as a divergence of
+             the whole engine set rather than crashing the campaign. *)
+          Some
+            (Divergence
+               {
+                 Oracle.engine_a = List.hd engines;
+                 engine_b = List.hd engines;
+                 first_cycle = None;
+                 reason =
+                   Printf.sprintf "spec %d broke the oracle: %s" index
+                     (Error.to_string e);
+               })
+  in
+  let i = ref start in
+  let stop = start + count in
+  while !i < stop && not (out_of_time ()) do
+    let index = !i in
+    let spec = Gen.spec_at size ~seed ~index in
+    on_spec index spec;
+    incr tested;
+    (match check_spec index spec with
+    | None -> ()
+    | Some failure ->
+        log (Printf.sprintf "spec %d: %s" index (failure_to_string failure));
+        let keep =
+          match failure with
+          | Divergence _ -> fun s -> Oracle.check ?feed ~engines s <> None
+          | Roundtrip_mismatch -> fun s -> not (roundtrips s)
+        in
+        let shrunk = if shrink then Shrink.spec ~keep spec else spec in
+        (* Re-diagnose the shrunk spec so the report names the engine pair
+           and cycle of the *minimized* witness. *)
+        let failure =
+          match failure with
+          | Roundtrip_mismatch -> Roundtrip_mismatch
+          | Divergence d -> (
+              match Oracle.check ?feed ~engines shrunk with
+              | Some d' -> Divergence d'
+              | None -> Divergence d)
+        in
+        let bundle =
+          match artifacts_dir with
+          | None -> None
+          | Some root ->
+              let dir =
+                Filename.concat root (Printf.sprintf "repro-seed%d-%d" seed index)
+              in
+              write_bundle ~dir ~seed ~index ~failure ~original:spec ~shrunk;
+              log (Printf.sprintf "spec %d: reproducer bundle written to %s" index dir);
+              Some dir
+        in
+        reports := { index; failure; original = spec; shrunk; bundle } :: !reports);
+    incr i
+  done;
+  { tested = !tested; reports = List.rev !reports; elapsed = Unix.gettimeofday () -. t0 }
+
+let report_to_string r =
+  Printf.sprintf "spec %d: %s (shrunk to %d components%s)" r.index
+    (failure_to_string r.failure)
+    (List.length r.shrunk.Spec.components)
+    (match r.bundle with Some dir -> "; bundle: " ^ dir | None -> "")
+
+let summary ~seed ~engines outcome =
+  Printf.sprintf "fuzz: %d specs tested (seed %d, engines %s) in %.1fs — %s" outcome.tested
+    seed
+    (String.concat "," (List.map Oracle.engine_to_string engines))
+    outcome.elapsed
+    (match outcome.reports with
+    | [] -> "no divergences"
+    | rs -> Printf.sprintf "%d failure(s)" (List.length rs))

@@ -1,0 +1,51 @@
+(** The fuzz campaign driver behind [asim fuzz].
+
+    Generates a deterministic sequence of specs from a seed, checks each one
+    through the {!Oracle} (and through a pretty-print/reparse round trip),
+    shrinks every failure with {!Shrink}, and writes a reproducer bundle per
+    failure to the artifacts directory. *)
+
+type failure =
+  | Divergence of Oracle.divergence
+  | Roundtrip_mismatch
+      (** the pretty-printed spec did not reparse to an equal spec *)
+
+type report = {
+  index : int;  (** campaign index; replay with [--seed SEED --start INDEX] *)
+  failure : failure;
+  original : Asim_core.Spec.t;
+  shrunk : Asim_core.Spec.t;
+  bundle : string option;  (** reproducer directory, when artifacts are on *)
+}
+
+type outcome = {
+  tested : int;  (** specs actually generated and checked *)
+  reports : report list;  (** failures, in discovery order *)
+  elapsed : float;  (** wall-clock seconds *)
+}
+
+val run :
+  ?artifacts_dir:string ->
+  ?time_budget:float ->
+  ?feed:int list ->
+  ?engines:Oracle.engine list ->
+  ?start:int ->
+  ?shrink:bool ->
+  ?on_spec:(int -> Asim_core.Spec.t -> unit) ->
+  ?log:(string -> unit) ->
+  seed:int ->
+  count:int ->
+  size:Gen.size ->
+  unit ->
+  outcome
+(** Check specs [start .. start + count - 1] of the campaign [seed], stopping
+    early once [time_budget] seconds have elapsed.  [on_spec] sees every
+    generated spec before it is checked (the CLI's [--print-specs]); [log]
+    receives human-readable progress lines.  Bundles are only written when
+    [artifacts_dir] is given; [shrink:false] skips minimization (bundles
+    then contain the original spec twice). *)
+
+val report_to_string : report -> string
+
+val summary : seed:int -> engines:Oracle.engine list -> outcome -> string
+(** One-line campaign result for the CLI. *)

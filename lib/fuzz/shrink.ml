@@ -1,0 +1,164 @@
+open Asim_core
+
+let well_formed spec =
+  match Asim_analysis.Analysis.analyze spec with
+  | (_ : Asim_analysis.Analysis.t) -> true
+  | exception Error.Error _ -> false
+
+(* --- size measure --------------------------------------------------------- *)
+
+(* References weigh more than constants: rewriting a ref into a literal cuts
+   a dependency edge and can unlock dropping the referenced component. *)
+let atom_weight = function Expr.Ref _ -> 2 | Expr.Const _ | Expr.Bitstring _ -> 1
+
+let expr_weight (e : Expr.t) =
+  List.fold_left (fun acc a -> acc + atom_weight a) 0 e
+
+let component_weight (c : Component.t) =
+  match c.kind with
+  | Component.Alu { fn; left; right } ->
+      expr_weight fn + expr_weight left + expr_weight right
+  | Component.Selector { select; cases } ->
+      expr_weight select
+      + Array.fold_left (fun acc case -> acc + 1 + expr_weight case) 0 cases
+  | Component.Memory { addr; data; op; cells; init } ->
+      expr_weight addr + expr_weight data + expr_weight op + (cells / 4)
+      + (match init with Some _ -> 1 | None -> 0)
+
+let weight (spec : Spec.t) =
+  (1000 * List.length spec.components)
+  + List.fold_left (fun acc c -> acc + component_weight c) 0 spec.components
+  + List.length (List.filter (fun d -> d.Spec.traced) spec.decls)
+  + Option.value spec.cycles ~default:0
+
+(* --- candidate transformations -------------------------------------------- *)
+
+let zero_expr = [ Expr.num_w 0 ~width:1 ]
+
+(* Ways to make one expression smaller. *)
+let shrink_expr (e : Expr.t) : Expr.t list =
+  let replace_whole = if e = zero_expr then [] else [ zero_expr ] in
+  let truncations =
+    match e with
+    | [] | [ _ ] -> []
+    | first :: rest -> [ [ first ]; rest ]
+  in
+  let atom_to_const =
+    List.concat
+      (List.mapi
+         (fun i atom ->
+           match atom with
+           | Expr.Ref _ ->
+               (* 0 first; 1 as a fallback for sites whose divergence needs a
+                  non-zero value flowing through. *)
+               [
+                 List.mapi (fun j a -> if i = j then Expr.num_w 0 ~width:1 else a) e;
+                 List.mapi (fun j a -> if i = j then Expr.num_w 1 ~width:1 else a) e;
+               ]
+           | _ -> [])
+         e)
+  in
+  replace_whole @ truncations @ atom_to_const
+
+let with_component (spec : Spec.t) i (c : Component.t) =
+  { spec with Spec.components = List.mapi (fun j cj -> if i = j then c else cj) spec.components }
+
+(* Candidates from rewriting one expression site of component [i]. *)
+let shrink_component_exprs (spec : Spec.t) i (c : Component.t) =
+  let rebuild kind = with_component spec i { c with Component.kind } in
+  match c.kind with
+  | Component.Alu alu ->
+      List.map (fun fn -> rebuild (Component.Alu { alu with fn })) (shrink_expr alu.fn)
+      @ List.map (fun left -> rebuild (Component.Alu { alu with left })) (shrink_expr alu.left)
+      @ List.map (fun right -> rebuild (Component.Alu { alu with right })) (shrink_expr alu.right)
+  | Component.Selector sel ->
+      let halve =
+        let n = Array.length sel.cases in
+        if n > 1 then
+          [ rebuild (Component.Selector { sel with cases = Array.sub sel.cases 0 (n / 2) }) ]
+        else []
+      in
+      halve
+      @ List.map
+          (fun select -> rebuild (Component.Selector { sel with select }))
+          (shrink_expr sel.select)
+      @ List.concat
+          (List.init (Array.length sel.cases) (fun k ->
+               List.map
+                 (fun case ->
+                   let cases = Array.copy sel.cases in
+                   cases.(k) <- case;
+                   rebuild (Component.Selector { sel with cases }))
+                 (shrink_expr sel.cases.(k))))
+  | Component.Memory m ->
+      let halve_cells =
+        if m.cells > 1 then
+          let cells = m.cells / 2 in
+          let init = Option.map (fun a -> Array.sub a 0 cells) m.init in
+          [ rebuild (Component.Memory { m with cells; init }) ]
+        else []
+      in
+      let drop_init =
+        match m.init with
+        | Some _ -> [ rebuild (Component.Memory { m with init = None }) ]
+        | None -> []
+      in
+      halve_cells @ drop_init
+      @ List.map (fun addr -> rebuild (Component.Memory { m with addr })) (shrink_expr m.addr)
+      @ List.map (fun data -> rebuild (Component.Memory { m with data })) (shrink_expr m.data)
+      @ List.map (fun op -> rebuild (Component.Memory { m with op })) (shrink_expr m.op)
+
+let drop_component (spec : Spec.t) i =
+  let victim = List.nth spec.components i in
+  {
+    spec with
+    Spec.components = List.filteri (fun j _ -> j <> i) spec.components;
+    decls = List.filter (fun d -> d.Spec.name <> victim.Component.name) spec.decls;
+  }
+
+let shrink_cycles (spec : Spec.t) =
+  match spec.cycles with
+  | Some n when n > 1 -> [ { spec with Spec.cycles = Some (n / 2) } ]
+  | _ -> []
+
+let untrace (spec : Spec.t) =
+  List.filter_map
+    (fun (d : Spec.decl) ->
+      if d.traced then
+        Some
+          {
+            spec with
+            Spec.decls =
+              List.map
+                (fun (d' : Spec.decl) ->
+                  if d'.name = d.name then { d' with Spec.traced = false } else d')
+                spec.decls;
+          }
+      else None)
+    spec.decls
+
+(* Ordered, lazily-consumed: the big wins (whole components, run length)
+   come first. *)
+let candidates (spec : Spec.t) =
+  let n = List.length spec.components in
+  List.init n (drop_component spec)
+  @ shrink_cycles spec
+  @ List.concat (List.mapi (fun i c -> shrink_component_exprs spec i c) spec.components)
+  @ untrace spec
+
+(* --- the greedy loop ------------------------------------------------------- *)
+
+let spec ~keep spec0 =
+  let keep s = well_formed s && (try keep s with _ -> false) in
+  if not (keep spec0) then spec0
+  else begin
+    let rec loop current =
+      let w = weight current in
+      match
+        List.find_opt (fun cand -> weight cand < w && keep cand) (candidates current)
+      with
+      | Some smaller -> loop smaller
+      | None -> current
+    in
+    loop spec0
+  end

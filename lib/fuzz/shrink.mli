@@ -1,0 +1,21 @@
+(** Greedy spec minimizer.
+
+    Given a property [keep] that holds of a spec (typically "this spec makes
+    two engines diverge"), [shrink] repeatedly applies the first
+    size-reducing transformation under which the property still holds:
+    dropping whole components, halving the cycle count, replacing
+    expressions with constants or truncating them, halving selector case
+    lists and memory cell counts, and untracing components.  Candidates that
+    break well-formedness (dangling references, circularity) are discarded
+    before [keep] is consulted, so [keep] only ever sees analyzable specs. *)
+
+val weight : Asim_core.Spec.t -> int
+(** The strictly-decreasing size measure the shrinker minimizes: components
+    dominate, then expression atoms, selector cases, cell counts, traced
+    names and the cycle count. *)
+
+val spec :
+  keep:(Asim_core.Spec.t -> bool) -> Asim_core.Spec.t -> Asim_core.Spec.t
+(** Minimize under [keep].  If [keep] does not hold of the input (or raises),
+    the input is returned unchanged.  Exceptions raised by [keep] on
+    candidates are treated as "property lost". *)

@@ -1,16 +1,23 @@
-(* Cycle semantics of both engines: registers delay one cycle, memories
+(* Cycle semantics of every engine: registers delay one cycle, memories
    snapshot address/op before latching, trace output matches the generated-
-   Pascal format, runtime errors fire, faults apply. *)
+   Pascal format, runtime errors fire, faults apply.  The engine list comes
+   from the fuzz oracle (Asim_fuzz.Oracle.all), so any engine added to the
+   differential-fuzzing set automatically inherits these semantic tests —
+   including the lowered-IR evaluator that stands in for the generated
+   simulators. *)
 
 open Asim
 
+let builders =
+  List.map
+    (fun engine ->
+      ( Asim_fuzz.Oracle.engine_to_string engine,
+        fun config analysis -> Asim_fuzz.Oracle.build engine ~config analysis ))
+    Asim_fuzz.Oracle.all
+
 let machines ?(config = Machine.quiet_config) source =
   let analysis = load_string source in
-  [
-    ("interp", Interp.create ~config analysis);
-    ("compiled", Compile.create ~config analysis);
-    ("unoptimized", Compile.create ~config ~optimize:false analysis);
-  ]
+  List.map (fun (label, build) -> (label, build config analysis)) builders
 
 let each ?config source f =
   List.iter (fun (label, m) -> f label m) (machines ?config source)
@@ -46,10 +53,7 @@ let test_trace_format () =
       (match !reference with
       | None -> reference := Some got
       | Some r -> Alcotest.(check string) (label ^ " agrees") r got))
-    [
-      ("interp", fun config a -> Interp.create ~config a);
-      ("compiled", fun config a -> Compile.create ~config a);
-    ]
+    builders
 
 let test_selector_out_of_range () =
   let source = "#c\nsel count inc .\nA inc 4 count 1\nS sel count 10 20\nM count 0 inc 1 1\n.\n" in
@@ -97,10 +101,7 @@ let test_memory_mapped_io () =
         (label ^ " outputs")
         [ (2, 0); (2, 1); (2, 2) ]
         outs)
-    [
-      ("interp", fun config a -> Interp.create ~config a);
-      ("compiled", fun config a -> Compile.create ~config a);
-    ]
+    builders
 
 let test_memory_input () =
   let source = "#c\nc inc m .\nA inc 4 c 1\nM m 1 0 2 1\nM c 0 inc 1 1\n.\n" in
@@ -113,10 +114,7 @@ let test_memory_input () =
       Machine.run m ~cycles:2;
       Alcotest.(check int) (label ^ " latched input") 8 (m.Machine.read "m");
       Alcotest.(check int) (label ^ " events") 2 (List.length (events ())))
-    [
-      ("interp", fun config a -> Interp.create ~config a);
-      ("compiled", fun config a -> Compile.create ~config a);
-    ]
+    builders
 
 let test_write_trace_lines () =
   (* op 5 = write + trace-writes. *)
@@ -132,10 +130,7 @@ let test_write_trace_lines () =
         (label ^ " write trace")
         "Cycle   0\nWrite to m at 0: 0\nCycle   1\nWrite to m at 0: 1\n"
         (Buffer.contents buf))
-    [
-      ("interp", fun config a -> Interp.create ~config a);
-      ("compiled", fun config a -> Compile.create ~config a);
-    ]
+    builders
 
 let test_read_trace_runtime_condition () =
   (* op = c.0.3: alternates 0 (read, no trace) and 8 (read + trace). *)
@@ -151,10 +146,7 @@ let test_read_trace_runtime_condition () =
         (label ^ " read trace on cycle 1 only")
         "Cycle   0\nCycle   1\nRead from m at 0: 0\n"
         (Buffer.contents buf))
-    [
-      ("interp", fun config a -> Interp.create ~config a);
-      ("compiled", fun config a -> Compile.create ~config a);
-    ]
+    builders
 
 let test_stats () =
   each counter (fun label m ->
@@ -233,8 +225,13 @@ let test_exotic_literals () =
     List.map m.Machine.read [ "a"; "b"; "s"; "m" ]
   in
   let interp = run (fun a -> Interp.create ~config:Machine.quiet_config a) in
-  let compiled = run (fun a -> Compile.create ~config:Machine.quiet_config a) in
-  Alcotest.(check (list int)) "engines agree on exotic literals" interp compiled;
+  List.iter
+    (fun (label, build) ->
+      Alcotest.(check (list int))
+        (label ^ " agrees on exotic literals")
+        interp
+        (run (fun a -> build Machine.quiet_config a)))
+    builders;
   (* sanity: the last evaluation sees c = 11: a = bits 2..3 of 11 (= 2) + 4;
      b = 11 land 31; s = (bit 0 of 11 = 1) -> b.0.3; m latched a *)
   Alcotest.(check (list int)) "expected values" [ 6; 11; 11; 6 ] interp
@@ -257,8 +254,10 @@ let test_fault_injection_equivalence () =
     ]
   in
   let interp = run faults (fun config a -> Interp.create ~config a) in
-  let compiled = run faults (fun config a -> Compile.create ~config a) in
-  Alcotest.(check string) "faulty traces agree" interp compiled;
+  List.iter
+    (fun (label, build) ->
+      Alcotest.(check string) (label ^ " faulty trace agrees") interp (run faults build))
+    builders;
   let healthy = run Fault.none (fun config a -> Interp.create ~config a) in
   Alcotest.(check bool) "fault changes the trace" true (interp <> healthy)
 

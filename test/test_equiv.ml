@@ -1,316 +1,40 @@
-(* Engine equivalence: for random well-formed specifications, the ASIM-style
-   interpreter, the ASIM II closure compiler, and the compiler with the §4.4
-   optimizations disabled must be observationally identical — same per-cycle
-   traces, same I/O event streams, same final memory images, same
+(* Engine equivalence, now driven by the asim_fuzz library: the random
+   well-formed-spec generator, the multi-engine oracle and the shrinker live
+   in lib/fuzz and are shared with the `asim fuzz` CLI; these properties are
+   the in-tree consumers.
+
+   For random well-formed specifications, the ASIM-style interpreter, the
+   ASIM II closure compiler (with and without the §4.4 optimizations) and
+   the lowered-IR evaluator must be observationally identical — same
+   per-cycle traces, same I/O event streams, same final memory images, same
    statistics. *)
 
 open Asim_core
-module Gen = QCheck.Gen
+module Gen = Asim_fuzz.Gen
+module Oracle = Asim_fuzz.Oracle
+module Shrink = Asim_fuzz.Shrink
 
-let ( let* ) g f = Gen.( >>= ) g f
+let narrow = Gen.default_size
 
-(* --- random specification generator -------------------------------------- *)
+let wide = { narrow with Gen.wide = true }
 
-type shape = {
-  n_comb : int;
-  n_mem : int;
-}
+(* A [Random.State.t -> 'a] function is a QCheck generator as-is. *)
+let arbitrary_spec = QCheck.make ~print:Pretty.spec (Gen.spec narrow)
 
-let mem_name i = Printf.sprintf "m%d" i
+let arbitrary_spec_wide = QCheck.make ~print:Pretty.spec (Gen.spec wide)
 
-let comb_name i = Printf.sprintf "c%d" i
-
-(* A small expression reading earlier combinational components (index < limit)
-   or any memory; every atom is a narrow field, so widths always fit. *)
-let gen_atom ~shape ~limit =
-  let gen_ref =
-    let* use_mem =
-      if limit = 0 then Gen.return true
-      else if shape.n_mem = 0 then Gen.return false
-      else Gen.bool
-    in
-    let* name =
-      if use_mem then Gen.map mem_name (Gen.int_bound (shape.n_mem - 1))
-      else Gen.map comb_name (Gen.int_bound (limit - 1))
-    in
-    let* lo = Gen.int_bound 8 in
-    let* w = Gen.int_range 1 4 in
-    Gen.return (Expr.ref_range name lo (lo + w - 1))
-  and gen_const =
-    let* v = Gen.int_bound 15 in
-    let* w = Gen.int_range 1 4 in
-    Gen.return (Expr.num_w v ~width:w)
-  in
-  Gen.oneof [ gen_ref; gen_const ]
-
-let gen_expr ~shape ~limit =
-  let* n = Gen.int_range 1 3 in
-  Gen.list_size (Gen.return n) (gen_atom ~shape ~limit)
-
-let gen_alu ~shape ~limit name =
-  let* fn =
-    Gen.oneof
-      [
-        Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound 13);
-        gen_expr ~shape ~limit;
-      ]
-  in
-  let* left = gen_expr ~shape ~limit in
-  let* right = gen_expr ~shape ~limit in
-  Gen.return { Component.name; kind = Component.Alu { fn; left; right } }
-
-let gen_selector ~shape ~limit name =
-  let* bits = Gen.int_range 1 3 in
-  let cases_n = 1 lsl bits in
-  let* select =
-    if limit = 0 && shape.n_mem = 0 then
-      Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound (cases_n - 1))
-    else
-      let* base = gen_atom ~shape ~limit in
-      match base with
-      | Expr.Ref { name; _ } ->
-          Gen.return [ Expr.ref_range name 0 (bits - 1) ]
-      | _ -> Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound (cases_n - 1))
-  in
-  let* cases =
-    Gen.list_size (Gen.return cases_n) (gen_expr ~shape ~limit)
-  in
-  Gen.return
-    { Component.name; kind = Component.Selector { select; cases = Array.of_list cases } }
-
-let gen_memory ~shape name =
-  let limit = shape.n_comb in
-  let* addr_bits = Gen.int_range 0 4 in
-  let cells = 1 lsl addr_bits in
-  let* addr =
-    if addr_bits = 0 then Gen.return [ Expr.num 0 ]
-    else
-      let* base = gen_atom ~shape ~limit in
-      match base with
-      | Expr.Ref { name; _ } -> Gen.return [ Expr.ref_range name 0 (addr_bits - 1) ]
-      | _ -> Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound (cells - 1))
-  in
-  let* data = gen_expr ~shape ~limit in
-  let* op =
-    Gen.oneof
-      [
-        Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound 15);
-        Gen.map (fun a -> [ a ]) (gen_atom ~shape ~limit);
-      ]
-  in
-  let* init =
-    Gen.oneof
-      [
-        Gen.return None;
-        Gen.map
-          (fun l -> Some (Array.of_list l))
-          (Gen.list_size (Gen.return cells) (Gen.int_bound 1000));
-      ]
-  in
-  Gen.return { Component.name; kind = Component.Memory { addr; data; op; cells; init } }
-
-let gen_spec =
-  let* n_comb = Gen.int_range 1 6 in
-  let* n_mem = Gen.int_range 1 3 in
-  let shape = { n_comb; n_mem } in
-  let rec gen_combs i acc =
-    if i >= n_comb then Gen.return (List.rev acc)
-    else
-      let* c =
-        Gen.oneof
-          [ gen_alu ~shape ~limit:i (comb_name i); gen_selector ~shape ~limit:i (comb_name i) ]
-      in
-      gen_combs (i + 1) (c :: acc)
-  in
-  let* combs = gen_combs 0 [] in
-  let rec gen_mems i acc =
-    if i >= n_mem then Gen.return (List.rev acc)
-    else
-      let* m = gen_memory ~shape (mem_name i) in
-      gen_mems (i + 1) (m :: acc)
-  in
-  let* mems = gen_mems 0 [] in
-  let components = combs @ mems in
-  let* traced_mask = Gen.list_size (Gen.return (List.length components)) Gen.bool in
-  let decls =
-    List.map2
-      (fun (c : Component.t) traced -> { Spec.name = c.name; traced })
-      components traced_mask
-  in
-  Gen.return { Spec.comment = "random"; cycles = Some 20; decls; components }
-
-let arbitrary_spec = QCheck.make ~print:Pretty.spec gen_spec
-
-(* A wider generator for the RTL-only property: expressions may start with a
-   filling atom (a whole component reference or an un-suffixed constant),
-   which exercises full-word values, negative intermediates and the
-   filling-atom placement rules. *)
-let gen_filling_atom ~shape ~limit =
-  let gen_ref =
-    let* use_mem =
-      if limit = 0 then Gen.return true
-      else if shape.n_mem = 0 then Gen.return false
-      else Gen.bool
-    in
-    let* name =
-      if use_mem then Gen.map mem_name (Gen.int_bound (shape.n_mem - 1))
-      else Gen.map comb_name (Gen.int_bound (limit - 1))
-    in
-    Gen.return (Expr.ref_ name)
-  in
-  Gen.oneof [ gen_ref; Gen.map Expr.num (Gen.int_bound 65535) ]
-
-let gen_expr_wide ~shape ~limit =
-  let* narrow = gen_expr ~shape ~limit in
-  Gen.oneof
-    [
-      Gen.return narrow;
-      (let* filler = gen_filling_atom ~shape ~limit in
-       Gen.return (filler :: narrow));
-      (let* filler = gen_filling_atom ~shape ~limit in
-       Gen.return [ filler ]);
-    ]
-
-let gen_spec_wide =
-  let* n_comb = Gen.int_range 1 6 in
-  let* n_mem = Gen.int_range 1 3 in
-  let shape = { n_comb; n_mem } in
-  let rec gen_combs i acc =
-    if i >= n_comb then Gen.return (List.rev acc)
-    else
-      let* c =
-        Gen.oneof
-          [
-            (let* fn =
-               Gen.oneof
-                 [
-                   Gen.map (fun c -> [ Expr.num c ]) (Gen.int_bound 13);
-                   gen_expr ~shape ~limit:i;
-                 ]
-             in
-             let* left = gen_expr_wide ~shape ~limit:i in
-             let* right = gen_expr_wide ~shape ~limit:i in
-             Gen.return
-               { Component.name = comb_name i; kind = Component.Alu { fn; left; right } });
-            gen_selector ~shape ~limit:i (comb_name i);
-          ]
-      in
-      gen_combs (i + 1) (c :: acc)
-  in
-  let* combs = gen_combs 0 [] in
-  let rec gen_mems i acc =
-    if i >= n_mem then Gen.return (List.rev acc)
-    else
-      let* m = gen_memory ~shape (mem_name i) in
-      (* widen the data expression *)
-      let* m =
-        match m.Component.kind with
-        | Component.Memory mem ->
-            let* data = gen_expr_wide ~shape ~limit:n_comb in
-            Gen.return
-              { m with Component.kind = Component.Memory { mem with data } }
-        | _ -> Gen.return m
-      in
-      gen_mems (i + 1) (m :: acc)
-  in
-  let* mems = gen_mems 0 [] in
-  let components = combs @ mems in
-  let decls =
-    List.map (fun (c : Component.t) -> { Spec.name = c.name; traced = true }) components
-  in
-  Gen.return { Spec.comment = "random-wide"; cycles = Some 20; decls; components }
-
-let arbitrary_spec_wide = QCheck.make ~print:Pretty.spec gen_spec_wide
-
-(* --- observation ----------------------------------------------------------- *)
-
-type observation = {
-  trace : string;
-  events : Asim_sim.Io.event list;
-  cells : (string * int list) list;
-  outputs : (string * int) list;
-  total_accesses : int;
-  error : string option;
-}
-
-let feed = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 ]
-
-let observe build spec =
-  let analysis = Asim_analysis.Analysis.analyze spec in
-  let buf = Buffer.create 512 in
-  let io, events = Asim_sim.Io.recording ~feed () in
-  let config =
-    { Asim_sim.Machine.io; trace = Asim_sim.Trace.buffer_sink buf; faults = [] }
-  in
-  let m : Asim_sim.Machine.t = build config analysis in
-  let error =
-    match Asim_sim.Machine.run m ~cycles:20 with
-    | () -> None
-    | exception Error.Error { phase = Error.Runtime; message; _ } -> Some message
-  in
-  let cells =
-    List.map
-      (fun (c : Component.t) ->
-        match c.kind with
-        | Component.Memory { cells; _ } ->
-            (c.name, List.init cells (fun i -> m.Asim_sim.Machine.read_cell c.name i))
-        | _ -> (c.name, []))
-      spec.Spec.components
-  in
-  let outputs =
-    List.map (fun (c : Component.t) -> (c.name, m.Asim_sim.Machine.read c.name))
-      spec.Spec.components
-  in
-  {
-    trace = Buffer.contents buf;
-    events = events ();
-    cells;
-    outputs;
-    total_accesses = Asim_sim.Stats.total_accesses m.Asim_sim.Machine.stats;
-    error;
-  }
-
-let engines =
-  [
-    ("interp", fun config a -> Asim_interp.Interp.create ~config a);
-    ("compiled", fun config a -> Asim_compile.Compile.create ~config a);
-    ( "unoptimized",
-      fun config a -> Asim_compile.Compile.create ~config ~optimize:false a );
-  ]
+let no_divergence spec =
+  match Oracle.check ~engines:Oracle.all spec with
+  | None -> true
+  | Some d -> QCheck.Test.fail_reportf "%s" (Oracle.divergence_to_string d)
 
 let equivalence_test =
   QCheck.Test.make ~name:"engines are observationally equivalent" ~count:300
-    arbitrary_spec
-    (fun spec ->
-      match List.map (fun (label, build) -> (label, observe build spec)) engines with
-      | [] -> true
-      | (_, reference) :: rest ->
-          List.for_all
-            (fun (label, obs) ->
-              if obs = reference then true
-              else
-                QCheck.Test.fail_reportf
-                  "engine %s diverges:@.trace A:@.%s@.trace B:@.%s@.errors: %s / %s"
-                  label reference.trace obs.trace
-                  (Option.value ~default:"-" reference.error)
-                  (Option.value ~default:"-" obs.error))
-            rest)
+    arbitrary_spec no_divergence
 
 let wide_equivalence_test =
   QCheck.Test.make ~name:"engines agree on full-word expressions" ~count:200
-    arbitrary_spec_wide
-    (fun spec ->
-      match List.map (fun (label, build) -> (label, observe build spec)) engines with
-      | [] -> true
-      | (_, reference) :: rest ->
-          List.for_all
-            (fun (label, obs) ->
-              if obs = reference then true
-              else
-                QCheck.Test.fail_reportf
-                  "engine %s diverges on wide spec:@.trace A:@.%s@.trace B:@.%s"
-                  label reference.trace obs.trace)
-            rest)
+    arbitrary_spec_wide no_divergence
 
 (* The gate level must also agree, on width-masked values, for every spec it
    can represent (no update-order hazards). *)
@@ -325,6 +49,7 @@ let gate_equivalence_test =
           analysis.Asim_analysis.Analysis.warnings
       in
       QCheck.assume (not hazardous);
+      let feed = Oracle.default_feed in
       let rtl_io, rtl_events = Asim_sim.Io.recording ~feed () in
       let rtl =
         Asim_compile.Compile.create
@@ -348,12 +73,10 @@ let gate_equivalence_test =
       else
         QCheck.Test.fail_reportf "gate level diverges on:@.%s" (Pretty.spec spec))
 
-(* Determinism: running the same engine twice gives the same observation. *)
+(* Determinism: observing the same engine twice gives the same observation. *)
 let determinism_test =
   QCheck.Test.make ~name:"simulation is deterministic" ~count:100 arbitrary_spec
-    (fun spec ->
-      let _, build = List.nth engines 1 in
-      observe build spec = observe build spec)
+    (fun spec -> Oracle.observe Oracle.Compiled spec = Oracle.observe Oracle.Compiled spec)
 
 (* The pretty-printed spec parses back to the same structure. *)
 let roundtrip_structure_test =
@@ -367,8 +90,70 @@ let roundtrip_behaviour_test =
     arbitrary_spec
     (fun spec ->
       let reparsed = Asim_syntax.Parser.parse_string (Pretty.spec spec) in
-      let _, build = List.nth engines 1 in
-      observe build spec = observe build reparsed)
+      Oracle.observe Oracle.Compiled spec = Oracle.observe Oracle.Compiled reparsed)
+
+(* --- deterministic-seed properties (alcotest, no QCheck randomness) -------- *)
+
+(* Every campaign spec pretty-prints and reparses to an equal spec, and
+   regenerating the same (seed, index) yields byte-identical source. *)
+let test_fixed_seed_roundtrip () =
+  List.iter
+    (fun size ->
+      for seed = 0 to 4 do
+        for index = 0 to 19 do
+          let spec = Gen.spec_at size ~seed ~index in
+          let again = Gen.spec_at size ~seed ~index in
+          Alcotest.(check string)
+            (Printf.sprintf "seed %d index %d regenerates identically" seed index)
+            (Pretty.spec spec) (Pretty.spec again);
+          if Asim_syntax.Parser.parse_string (Pretty.spec spec) <> spec then
+            Alcotest.failf "seed %d index %d does not round-trip:\n%s" seed index
+              (Pretty.spec spec)
+        done
+      done)
+    [ narrow; wide ]
+
+(* The buggy engine (constant add computes sub) is caught by the oracle and
+   the shrinker reduces the witness to a handful of components. *)
+let test_injected_bug_is_caught_and_shrunk () =
+  let engines = Oracle.all @ [ Oracle.Buggy ] in
+  (* A spec the corruption certainly perturbs: an adder fed by a counter. *)
+  let source = "#adder\n= 8\ncount inc sum .\nA inc 4 count 1\nA sum 4 count 3\nM count 0 inc 1 1\n.\n" in
+  let spec = Asim_syntax.Parser.parse_string source in
+  match Oracle.check ~engines spec with
+  | None -> Alcotest.fail "oracle missed the injected add->sub bug"
+  | Some d ->
+      Alcotest.(check bool) "buggy engine is the culprit" true (d.Oracle.engine_b = Oracle.Buggy);
+      let keep s = Oracle.check ~engines s <> None in
+      let shrunk = Shrink.spec ~keep spec in
+      let n = List.length shrunk.Spec.components in
+      if n > 5 then
+        Alcotest.failf "shrunk witness still has %d components:\n%s" n
+          (Pretty.spec shrunk);
+      Alcotest.(check bool) "shrunk witness still diverges" true (keep shrunk)
+
+(* The shrinker never returns a spec that stopped diverging or does not
+   analyze. *)
+let test_shrink_preserves_property () =
+  let engines = Oracle.all @ [ Oracle.Buggy ] in
+  let keep s = Oracle.check ~engines s <> None in
+  let checked = ref 0 in
+  for index = 0 to 99 do
+    let spec = Gen.spec_at narrow ~seed:1 ~index in
+    if keep spec then begin
+      incr checked;
+      let shrunk = Shrink.spec ~keep spec in
+      Alcotest.(check bool)
+        (Printf.sprintf "index %d shrunk spec still diverges" index)
+        true (keep shrunk);
+      Alcotest.(check bool)
+        (Printf.sprintf "index %d shrink did not grow the spec" index)
+        true
+        (Shrink.weight shrunk <= Shrink.weight spec)
+    end
+  done;
+  if !checked = 0 then
+    Alcotest.fail "no diverging spec in the first 100 indices — weak self-test"
 
 let () =
   Alcotest.run "equiv"
@@ -379,4 +164,13 @@ let () =
             equivalence_test; wide_equivalence_test; gate_equivalence_test;
             determinism_test; roundtrip_structure_test; roundtrip_behaviour_test;
           ] );
+      ( "fuzz library",
+        [
+          Alcotest.test_case "fixed-seed generate/print/parse round-trip" `Quick
+            test_fixed_seed_roundtrip;
+          Alcotest.test_case "injected bug caught and shrunk" `Quick
+            test_injected_bug_is_caught_and_shrunk;
+          Alcotest.test_case "shrinking preserves divergence" `Quick
+            test_shrink_preserves_property;
+        ] );
     ]

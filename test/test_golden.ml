@@ -56,5 +56,37 @@ let () =
           Alcotest.test_case "counter verilog" `Quick
             (check_golden ~lang:Codegen.Verilog ~source:Specs.counter
                ~golden:"counter.v");
+          Alcotest.test_case "traffic light ocaml" `Quick
+            (check_golden ~lang:Codegen.Ocaml ~source:Specs.traffic_light
+               ~golden:"traffic.ml.golden");
+          Alcotest.test_case "traffic light c" `Quick
+            (check_golden ~lang:Codegen.C ~source:Specs.traffic_light
+               ~golden:"traffic.c.golden");
+          Alcotest.test_case "traffic light verilog" `Quick
+            (check_golden ~lang:Codegen.Verilog ~source:Specs.traffic_light
+               ~golden:"traffic.v");
+        ] );
+      ( "microcode",
+        [
+          (* Locks the generated stack-machine specification itself: the ROM
+             tables, data path and RAM wiring of Appendix D/E, as printed by
+             the canonical pretty-printer. *)
+          Alcotest.test_case "stack machine spec" `Quick (fun () ->
+              let generated =
+                Asim_core.Pretty.spec
+                  (Asim_stackm.Microcode.spec
+                     ~program:Asim_stackm.Programs.sieve ())
+              in
+              let expected =
+                read_file (Filename.concat golden_dir "stackm.asim.golden")
+              in
+              match first_diff generated expected with
+              | None -> ()
+              | Some (line, got, want) ->
+                  Alcotest.failf
+                    "stackm.asim.golden: first difference at line %d:\n\
+                    \  generated: %s\n\
+                    \  golden:    %s"
+                    line got want);
         ] );
     ]
