@@ -374,6 +374,105 @@ let figure_levels () =
     \   the ISP gives no concurrency, timing, or interconnection data, §2.1.2)\n"
 
 (* ------------------------------------------------------------------ *)
+(* Batch throughput: same spec × 1..P worker domains                   *)
+(* ------------------------------------------------------------------ *)
+
+(* 64 identical jobs over the stack-machine sieve (5545 cycles each),
+   executed at increasing pool widths.  Records jobs/sec, speedup vs one
+   domain, and the compiled-spec cache hit rate to BENCH_batch.json, and
+   checks that every width produces byte-identical result lines. *)
+let figure_batch () =
+  hr "Extension — batch throughput: 64 sieve jobs across worker domains";
+  let job_count = 64 in
+  let manifest =
+    List.init job_count (fun i ->
+        Asim_batch.Json.to_string
+          (Asim_batch.Proto.job_to_json
+             {
+               Asim_batch.Proto.id = Some (Printf.sprintf "sieve-%02d" i);
+               source = Asim_batch.Proto.Example "stack-machine-sieve";
+               engine = Asim.Compiled;
+               optimize = true;
+               cycles = None;
+               inputs = [];
+               want = [ Asim_batch.Proto.Outputs ];
+               timeout_s = None;
+             }))
+  in
+  let run_at domains =
+    let t = Asim_batch.Runner.create () in
+    let lines = ref manifest in
+    let next () =
+      match !lines with
+      | [] -> None
+      | line :: rest ->
+          lines := rest;
+          Some line
+    in
+    let results = ref [] in
+    let emit line = results := line :: !results in
+    let (), wall = time (fun () ->
+        ignore (Asim_batch.Runner.process t ~jobs:domains ~next ~emit : int))
+    in
+    let summary = Asim_batch.Runner.summary t ~wall_s:wall in
+    (summary, wall, List.rev !results)
+  in
+  let widths =
+    let cores = Domain.recommended_domain_count () in
+    List.filter (fun w -> w = 1 || w <= max 2 cores) [ 1; 2; 4; 8 ]
+  in
+  let runs = List.map (fun w -> (w, run_at w)) widths in
+  let _, (_, base_wall, base_results) = List.hd runs in
+  let byte_identical =
+    List.for_all (fun (_, (_, _, results)) -> results = base_results) runs
+  in
+  Printf.printf "%8s %12s %12s %10s %10s\n" "domains" "wall (s)" "jobs/sec" "speedup"
+    "cache hit";
+  List.iter
+    (fun (w, (summary, wall, _)) ->
+      Printf.printf "%8d %12.3f %12.1f %9.2fx %9.1f%%\n" w wall
+        summary.Asim_batch.Metrics.jobs_per_sec (base_wall /. wall)
+        (100.0 *. Asim_batch.Cache.hit_rate summary.Asim_batch.Metrics.cache))
+    runs;
+  Printf.printf "results byte-identical across widths: %b\n" byte_identical;
+  Printf.printf "(only %d core(s) online here; speedup needs real parallel hardware)\n"
+    (Domain.recommended_domain_count ());
+  let json =
+    Asim_batch.Json.Obj
+      [
+        ("spec", Asim_batch.Json.String "stack-machine-sieve");
+        ("engine", Asim_batch.Json.String "compiled");
+        ("jobs", Asim_batch.Json.Int job_count);
+        ("cycles_per_job", Asim_batch.Json.Int Asim_stackm.Programs.sieve_cycles);
+        ("cores_online", Asim_batch.Json.Int (Domain.recommended_domain_count ()));
+        ("byte_identical", Asim_batch.Json.Bool byte_identical);
+        ( "runs",
+          Asim_batch.Json.List
+            (List.map
+               (fun (w, (summary, wall, _)) ->
+                 Asim_batch.Json.Obj
+                   [
+                     ("domains", Asim_batch.Json.Int w);
+                     ("wall_s", Asim_batch.Json.Float wall);
+                     ( "jobs_per_sec",
+                       Asim_batch.Json.Float summary.Asim_batch.Metrics.jobs_per_sec );
+                     ("speedup_vs_1", Asim_batch.Json.Float (base_wall /. wall));
+                     ( "cache_hit_rate",
+                       Asim_batch.Json.Float
+                         (Asim_batch.Cache.hit_rate summary.Asim_batch.Metrics.cache) );
+                     ( "metrics",
+                       Asim_batch.Metrics.to_json summary );
+                   ])
+               runs) );
+      ]
+  in
+  let oc = open_out "BENCH_batch.json" in
+  output_string oc (Asim_batch.Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_batch.json"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure           *)
 (* ------------------------------------------------------------------ *)
 
@@ -478,13 +577,18 @@ let run_bechamel () =
 
 let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
-  figure_3_1 ();
-  figure_4_1 ();
-  figure_4_2 ();
-  figure_4_3 ();
-  figure_5_1 ();
-  figure_ablation ();
-  figure_scaling ();
-  figure_levels ();
-  if not quick then run_bechamel ();
+  let batch_only = Array.exists (fun a -> a = "batch") Sys.argv in
+  if batch_only then figure_batch ()
+  else begin
+    figure_3_1 ();
+    figure_4_1 ();
+    figure_4_2 ();
+    figure_4_3 ();
+    figure_5_1 ();
+    figure_ablation ();
+    figure_scaling ();
+    figure_levels ();
+    figure_batch ();
+    if not quick then run_bechamel ()
+  end;
   print_newline ()

@@ -1,7 +1,7 @@
 (* asim — the ASIM II reproduction's command-line front end.
 
    Subcommands: check, run, codegen, pipeline, netlist, gates, profile,
-   coverage, asm, wavediff, fmt, example. *)
+   coverage, asm, wavediff, fuzz, batch, serve, fmt, example. *)
 
 open Cmdliner
 
@@ -563,7 +563,7 @@ let wavediff_cmd =
 
 let fuzz_cmd =
   let run seed count start max_comb max_mem cycles wide engines artifacts
-      time_budget inject_bug print_specs no_shrink quiet =
+      time_budget inject_bug print_specs no_shrink quiet fuzz_jobs =
     let size = { Asim_fuzz.Gen.max_comb; max_mem; cycles; wide } in
     let engines = if inject_bug then engines @ [ Asim_fuzz.Oracle.Buggy ] else engines in
     (match engines with
@@ -578,7 +578,7 @@ let fuzz_cmd =
     let log = if quiet then fun _ -> () else print_endline in
     let outcome =
       Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~engines ~start
-        ~shrink:(not no_shrink) ~on_spec ~log ~seed ~count ~size ()
+        ~shrink:(not no_shrink) ~on_spec ~log ~jobs:fuzz_jobs ~seed ~count ~size ()
     in
     List.iter
       (fun r -> print_endline (Asim_fuzz.Runner.report_to_string r))
@@ -679,6 +679,15 @@ let fuzz_cmd =
   let quiet_arg =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress lines.")
   in
+  let fuzz_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains to spread campaign indices over.  Reporting stays \
+             deterministic for any N; $(b,--jobs 1) is byte-identical to the \
+             sequential driver.")
+  in
   Cmd.v
     (Cmd.info "fuzz"
        ~doc:
@@ -690,7 +699,128 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ start_arg $ max_components_arg
       $ max_memories_arg $ fuzz_cycles_arg $ wide_arg $ engines_arg
       $ artifacts_arg $ time_budget_arg $ inject_bug_arg $ print_specs_arg
-      $ no_shrink_arg $ quiet_arg)
+      $ no_shrink_arg $ quiet_arg $ fuzz_jobs_arg)
+
+(* --- batch / serve ----------------------------------------------------------- *)
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains to run jobs on (1 = in the calling domain).")
+
+let cache_capacity_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "cache-capacity" ] ~docv:"N"
+        ~doc:"Maximum analyzed specs held in the compiled-spec cache.")
+
+let no_metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "no-metrics" ] ~doc:"Suppress the end-of-run metrics summary on stderr.")
+
+let batch_cmd =
+  let run manifest jobs cache_capacity output no_metrics =
+    let t = Asim_batch.Runner.create ~cache_capacity () in
+    let t0 = Unix.gettimeofday () in
+    let ic =
+      try open_in manifest
+      with Sys_error msg ->
+        prerr_endline ("asim: " ^ msg);
+        exit 2
+    in
+    let oc, close_oc =
+      match output with
+      | None -> (stdout, fun () -> flush stdout)
+      | Some path ->
+          let oc = open_out path in
+          (oc, fun () -> close_out oc)
+    in
+    let next () = try Some (input_line ic) with End_of_file -> None in
+    let emit line =
+      output_string oc line;
+      output_char oc '\n'
+    in
+    let _jobs_run = Asim_batch.Runner.process t ~jobs ~next ~emit in
+    close_in ic;
+    close_oc ();
+    let s = Asim_batch.Runner.summary t ~wall_s:(Unix.gettimeofday () -. t0) in
+    if not no_metrics then prerr_string (Asim_batch.Metrics.to_string s);
+    if s.Asim_batch.Metrics.errors + s.Asim_batch.Metrics.timeouts > 0 then exit 1
+  in
+  let manifest_arg =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"MANIFEST" ~doc:"JSONL manifest: one job object per line.")
+  in
+  let output_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE"
+          ~doc:"Write result lines to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:
+         "Run a JSONL manifest of simulation jobs on a worker-domain pool with a \
+          shared compiled-spec cache; emit one result line per job, in job order.")
+    Term.(
+      const run $ manifest_arg $ jobs_arg $ cache_capacity_arg $ output_arg
+      $ no_metrics_arg)
+
+let serve_cmd =
+  let run jobs cache_capacity socket no_metrics =
+    let t = Asim_batch.Runner.create ~cache_capacity () in
+    let t0 = Unix.gettimeofday () in
+    (* One session per stream; the runner (cache + metrics) outlives it, so
+       a long-lived server amortizes compilation across connections. *)
+    let session ic oc =
+      let next () = try Some (input_line ic) with End_of_file -> None in
+      let emit line =
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      in
+      let _jobs_run = Asim_batch.Runner.process t ~jobs ~next ~emit in
+      if not no_metrics then
+        prerr_string
+          (Asim_batch.Metrics.to_string
+             (Asim_batch.Runner.summary t ~wall_s:(Unix.gettimeofday () -. t0)))
+    in
+    match socket with
+    | None -> session stdin stdout
+    | Some path ->
+        if Sys.file_exists path then Sys.remove path;
+        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind sock (Unix.ADDR_UNIX path);
+        Unix.listen sock 8;
+        Printf.eprintf "asim serve: listening on %s\n%!" path;
+        let rec accept_loop () =
+          let fd, _ = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          (try session ic oc with Sys_error _ | End_of_file -> ());
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          accept_loop ()
+        in
+        accept_loop ()
+  in
+  let socket_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Listen on a Unix socket instead of stdin/stdout; each connection is \
+             one JSONL job stream (the cache persists across connections).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running job service: read JSONL jobs from stdin (or a Unix socket) \
+          and stream results back in job order.")
+    Term.(const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ no_metrics_arg)
 
 (* --- fmt -------------------------------------------------------------------- *)
 
@@ -730,5 +860,5 @@ let () =
   let info = Cmd.info "asim" ~version:"1.0.0" ~doc in
   exit (Cmd.eval (Cmd.group info
     [ check_cmd; run_cmd; codegen_cmd; pipeline_cmd; netlist_cmd; gates_cmd;
-      profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fuzz_cmd; fmt_cmd;
-      example_cmd ]))
+      profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fuzz_cmd; batch_cmd;
+      serve_cmd; fmt_cmd; example_cmd ]))

@@ -1,0 +1,144 @@
+type 'v slot =
+  | Pending
+  | Ready of 'v
+  | Failed of exn
+
+type 'v entry = { mutable slot : 'v slot; mutable last_use : int }
+
+type 'v t = {
+  mutex : Mutex.t;
+  settled : Condition.t;  (** signalled when a Pending slot resolves *)
+  table : (string, 'v entry) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;  (** monotonic use counter driving LRU order *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    mutex = Mutex.create ();
+    settled = Condition.create ();
+    table = Hashtbl.create 16;
+    capacity = max 1 capacity;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let touch t entry =
+  t.tick <- t.tick + 1;
+  entry.last_use <- t.tick
+
+(* Evict least-recently-used ready entries until there is room.  Pending
+   entries are skipped: their computer holds no lock while working, so the
+   entry is the only rendezvous point for its waiters. *)
+let make_room t =
+  while
+    Hashtbl.length t.table > t.capacity
+    &&
+    let victim = ref None in
+    Hashtbl.iter
+      (fun key entry ->
+        match entry.slot with
+        | Ready _ -> (
+            match !victim with
+            | Some (_, best) when best.last_use <= entry.last_use -> ()
+            | _ -> victim := Some (key, entry))
+        | Pending | Failed _ -> ())
+      t.table;
+    match !victim with
+    | None -> false
+    | Some (key, _) ->
+        Hashtbl.remove t.table key;
+        t.evictions <- t.evictions + 1;
+        true
+  do
+    ()
+  done
+
+let find_or_compute t ~key compute =
+  Mutex.lock t.mutex;
+  let rec obtain () =
+    match Hashtbl.find_opt t.table key with
+    | Some entry -> (
+        match entry.slot with
+        | Ready v ->
+            t.hits <- t.hits + 1;
+            touch t entry;
+            Mutex.unlock t.mutex;
+            v
+        | Pending ->
+            t.hits <- t.hits + 1;
+            let rec await () =
+              match entry.slot with
+              | Pending ->
+                  Condition.wait t.settled t.mutex;
+                  await ()
+              | Ready v ->
+                  touch t entry;
+                  Mutex.unlock t.mutex;
+                  v
+              | Failed exn ->
+                  Mutex.unlock t.mutex;
+                  raise exn
+            in
+            await ()
+        | Failed _ ->
+            (* A previous compute failed and its waiters have been notified;
+               drop the tombstone and retry from scratch. *)
+            Hashtbl.remove t.table key;
+            obtain ())
+    | None ->
+        t.misses <- t.misses + 1;
+        let entry = { slot = Pending; last_use = 0 } in
+        touch t entry;
+        Hashtbl.replace t.table key entry;
+        Mutex.unlock t.mutex;
+        let outcome = try Ok (compute ()) with exn -> Error exn in
+        Mutex.lock t.mutex;
+        (match outcome with
+        | Ok v ->
+            entry.slot <- Ready v;
+            touch t entry;
+            make_room t
+        | Error exn ->
+            (* Waiters hold the entry itself, so they still observe [Failed]
+               after it leaves the table; fresh lookups retry from scratch. *)
+            entry.slot <- Failed exn;
+            (match Hashtbl.find_opt t.table key with
+            | Some e when e == entry -> Hashtbl.remove t.table key
+            | _ -> ()));
+        Condition.broadcast t.settled;
+        Mutex.unlock t.mutex;
+        (match outcome with Ok v -> v | Error exn -> raise exn)
+  in
+  obtain ()
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+let stats t =
+  Mutex.lock t.mutex;
+  let s =
+    {
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      entries = Hashtbl.length t.table;
+      capacity = t.capacity;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let hit_rate s =
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total

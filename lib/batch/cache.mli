@@ -1,0 +1,35 @@
+(** The compiled-spec cache: a thread-safe, single-flight LRU map from
+    content-hash keys to prepared artifacts.
+
+    "Single-flight" means concurrent requests for the same missing key
+    block while exactly one of them computes the value — so a 64-job
+    manifest over one spec compiles it once (1 miss, 63 hits) even when
+    four domains race on a cold cache.
+
+    Counters: a [find_or_compute] that finds a ready or in-flight entry is
+    a hit; one that starts the compute is a miss; every entry dropped to
+    make room is an eviction.  In-flight entries are never evicted. *)
+
+type 'v t
+
+val create : capacity:int -> 'v t
+(** [capacity] is clamped to at least 1. *)
+
+val find_or_compute : 'v t -> key:string -> (unit -> 'v) -> 'v
+(** Return the cached value for [key], computing and inserting it on a
+    miss.  If the compute raises, the exception propagates to the computing
+    caller and to every waiter, and the entry is removed (a later call
+    retries). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+}
+
+val stats : 'v t -> stats
+
+val hit_rate : stats -> float
+(** [hits / (hits + misses)], or 0 when empty. *)

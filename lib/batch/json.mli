@@ -1,0 +1,39 @@
+(** A minimal JSON codec for the batch job protocol.
+
+    The container carries no JSON library, so the protocol brings its own:
+    a strict recursive-descent parser (full value, no trailing input) and a
+    compact printer whose output is deterministic — object fields print in
+    the order given, which is what lets batch results be compared byte for
+    byte across scheduling orders. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Message includes the 1-based character offset of the failure. *)
+
+val parse : string -> t
+(** Parse one complete JSON value.  Raises {!Parse_error} on malformed
+    input or trailing non-whitespace. *)
+
+val to_string : t -> string
+(** Compact rendering (no spaces, fields in given order). *)
+
+(** {2 Accessors} — total functions returning [option]. *)
+
+val member : string -> t -> t option
+(** Field lookup; [None] for absent fields and non-objects. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** [to_float] also accepts [Int]. *)
+
+val to_string_opt : t -> string option
+val to_bool : t -> bool option
+val to_list : t -> t list option

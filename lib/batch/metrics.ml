@@ -1,0 +1,140 @@
+type t = {
+  mutex : Mutex.t;
+  mutable ok : int;
+  mutable errors : int;
+  mutable timeouts : int;
+  by_engine : (string, float list ref) Hashtbl.t;  (** elapsed seconds, unordered *)
+}
+
+let create () =
+  { mutex = Mutex.create (); ok = 0; errors = 0; timeouts = 0; by_engine = Hashtbl.create 4 }
+
+let record t ~engine ~status ~elapsed =
+  Mutex.lock t.mutex;
+  (match status with
+  | `Ok -> t.ok <- t.ok + 1
+  | `Error -> t.errors <- t.errors + 1
+  | `Timeout -> t.timeouts <- t.timeouts + 1);
+  (match Hashtbl.find_opt t.by_engine engine with
+  | Some cell -> cell := elapsed :: !cell
+  | None -> Hashtbl.replace t.by_engine engine (ref [ elapsed ]));
+  Mutex.unlock t.mutex
+
+type engine_latency = {
+  engine : string;
+  count : int;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type summary = {
+  jobs : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  wall_s : float;
+  jobs_per_sec : float;
+  cache : Cache.stats;
+  latencies : engine_latency list;
+}
+
+(* Nearest-rank percentile over a sorted array. *)
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    sorted.(max 0 (min (n - 1) (rank - 1)))
+  end
+
+let summarize t ~cache ~wall_s =
+  Mutex.lock t.mutex;
+  let latencies =
+    Hashtbl.fold
+      (fun engine cell acc ->
+        let sorted = Array.of_list !cell in
+        Array.sort compare sorted;
+        let ms p = percentile sorted p *. 1000.0 in
+        {
+          engine;
+          count = Array.length sorted;
+          p50_ms = ms 50.0;
+          p90_ms = ms 90.0;
+          p99_ms = ms 99.0;
+          max_ms = (if Array.length sorted = 0 then 0.0 else sorted.(Array.length sorted - 1) *. 1000.0);
+        }
+        :: acc)
+      t.by_engine []
+    |> List.sort (fun a b -> String.compare a.engine b.engine)
+  in
+  let jobs = t.ok + t.errors + t.timeouts in
+  let s =
+    {
+      jobs;
+      ok = t.ok;
+      errors = t.errors;
+      timeouts = t.timeouts;
+      wall_s;
+      jobs_per_sec = (if wall_s > 0.0 then float_of_int jobs /. wall_s else 0.0);
+      cache;
+      latencies;
+    }
+  in
+  Mutex.unlock t.mutex;
+  s
+
+let to_string s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "batch: %d jobs (%d ok, %d errors, %d timeouts) in %.3fs — %.1f jobs/sec\n"
+       s.jobs s.ok s.errors s.timeouts s.wall_s s.jobs_per_sec);
+  Buffer.add_string buf
+    (Printf.sprintf "cache: %d hits, %d misses, %d evictions (%.1f%% hit rate, %d/%d entries)\n"
+       s.cache.Cache.hits s.cache.Cache.misses s.cache.Cache.evictions
+       (100.0 *. Cache.hit_rate s.cache)
+       s.cache.Cache.entries s.cache.Cache.capacity);
+  List.iter
+    (fun l ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "engine %-10s %5d jobs  p50 %8.2f ms  p90 %8.2f ms  p99 %8.2f ms  max %8.2f ms\n"
+           l.engine l.count l.p50_ms l.p90_ms l.p99_ms l.max_ms))
+    s.latencies;
+  Buffer.contents buf
+
+let to_json s =
+  Json.Obj
+    [
+      ("jobs", Json.Int s.jobs);
+      ("ok", Json.Int s.ok);
+      ("errors", Json.Int s.errors);
+      ("timeouts", Json.Int s.timeouts);
+      ("wall_s", Json.Float s.wall_s);
+      ("jobs_per_sec", Json.Float s.jobs_per_sec);
+      ( "cache",
+        Json.Obj
+          [
+            ("hits", Json.Int s.cache.Cache.hits);
+            ("misses", Json.Int s.cache.Cache.misses);
+            ("evictions", Json.Int s.cache.Cache.evictions);
+            ("hit_rate", Json.Float (Cache.hit_rate s.cache));
+            ("entries", Json.Int s.cache.Cache.entries);
+            ("capacity", Json.Int s.cache.Cache.capacity);
+          ] );
+      ( "engines",
+        Json.List
+          (List.map
+             (fun l ->
+               Json.Obj
+                 [
+                   ("engine", Json.String l.engine);
+                   ("jobs", Json.Int l.count);
+                   ("p50_ms", Json.Float l.p50_ms);
+                   ("p90_ms", Json.Float l.p90_ms);
+                   ("p99_ms", Json.Float l.p99_ms);
+                   ("max_ms", Json.Float l.max_ms);
+                 ])
+             s.latencies) );
+    ]

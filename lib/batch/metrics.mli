@@ -1,0 +1,38 @@
+(** End-of-run metrics for a batch/serve session: job counts by status,
+    throughput, cache effectiveness, and per-engine latency percentiles.
+    Thread-safe — workers record from any domain. *)
+
+type t
+
+val create : unit -> t
+
+val record :
+  t -> engine:string -> status:[ `Ok | `Error | `Timeout ] -> elapsed:float -> unit
+(** Record one finished job ([elapsed] in seconds). *)
+
+type engine_latency = {
+  engine : string;
+  count : int;
+  p50_ms : float;
+  p90_ms : float;
+  p99_ms : float;
+  max_ms : float;
+}
+
+type summary = {
+  jobs : int;
+  ok : int;
+  errors : int;
+  timeouts : int;
+  wall_s : float;
+  jobs_per_sec : float;
+  cache : Cache.stats;
+  latencies : engine_latency list;  (** sorted by engine name *)
+}
+
+val summarize : t -> cache:Cache.stats -> wall_s:float -> summary
+
+val to_string : summary -> string
+(** Multi-line human-readable report (the CLI prints it to stderr). *)
+
+val to_json : summary -> Json.t

@@ -1,0 +1,124 @@
+type 'r shared = {
+  mutex : Mutex.t;
+  work_available : Condition.t;  (** signalled on submit and on close *)
+  all_emitted : Condition.t;  (** signalled when next_to_emit advances *)
+  queue : (int * (int -> 'r)) Queue.t;
+  mutable closed : bool;
+  pending : (int, 'r) Hashtbl.t;  (** completed but not yet emitted *)
+  mutable next_to_emit : int;
+  mutable submitted : int;
+  on_crash : int -> exn -> 'r;
+  emit : int -> 'r -> unit;
+}
+
+type 'r t =
+  | Sync of {
+      mutable count : int;
+      on_crash : int -> exn -> 'r;
+      emit : int -> 'r -> unit;
+    }
+  | Parallel of { shared : 'r shared; workers : unit Domain.t array }
+
+let guarded_emit emit index r = try emit index r with _ -> ()
+
+(* Emit every consecutive completed result.  Called with [s.mutex] held;
+   emission happens under the lock, which serializes it across workers. *)
+let drain s =
+  let advanced = ref false in
+  let rec go () =
+    match Hashtbl.find_opt s.pending s.next_to_emit with
+    | None -> ()
+    | Some r ->
+        Hashtbl.remove s.pending s.next_to_emit;
+        guarded_emit s.emit s.next_to_emit r;
+        s.next_to_emit <- s.next_to_emit + 1;
+        advanced := true;
+        go ()
+  in
+  go ();
+  if !advanced then Condition.broadcast s.all_emitted
+
+let worker_loop s () =
+  let rec next () =
+    Mutex.lock s.mutex;
+    let rec wait () =
+      if not (Queue.is_empty s.queue) then Some (Queue.pop s.queue)
+      else if s.closed then None
+      else begin
+        Condition.wait s.work_available s.mutex;
+        wait ()
+      end
+    in
+    let job = wait () in
+    Mutex.unlock s.mutex;
+    match job with
+    | None -> ()
+    | Some (index, thunk) ->
+        let result = try thunk index with exn -> s.on_crash index exn in
+        Mutex.lock s.mutex;
+        Hashtbl.replace s.pending index result;
+        drain s;
+        Mutex.unlock s.mutex;
+        next ()
+  in
+  next ()
+
+let create ~jobs ~on_crash ~emit =
+  if jobs <= 1 then Sync { count = 0; on_crash; emit }
+  else begin
+    let shared =
+      {
+        mutex = Mutex.create ();
+        work_available = Condition.create ();
+        all_emitted = Condition.create ();
+        queue = Queue.create ();
+        closed = false;
+        pending = Hashtbl.create 64;
+        next_to_emit = 0;
+        submitted = 0;
+        on_crash;
+        emit;
+      }
+    in
+    let workers = Array.init jobs (fun _ -> Domain.spawn (worker_loop shared)) in
+    Parallel { shared; workers }
+  end
+
+let submit t thunk =
+  match t with
+  | Sync s ->
+      let index = s.count in
+      s.count <- index + 1;
+      let result = try thunk index with exn -> s.on_crash index exn in
+      guarded_emit s.emit index result
+  | Parallel { shared = s; _ } ->
+      Mutex.lock s.mutex;
+      if s.closed then begin
+        Mutex.unlock s.mutex;
+        invalid_arg "Pool.submit: pool already finished"
+      end;
+      Queue.push (s.submitted, thunk) s.queue;
+      s.submitted <- s.submitted + 1;
+      Condition.signal s.work_available;
+      Mutex.unlock s.mutex
+
+let finish t =
+  match t with
+  | Sync s -> s.count
+  | Parallel { shared = s; workers } ->
+      Mutex.lock s.mutex;
+      s.closed <- true;
+      Condition.broadcast s.work_available;
+      while s.next_to_emit < s.submitted do
+        Condition.wait s.all_emitted s.mutex
+      done;
+      Mutex.unlock s.mutex;
+      Array.iter Domain.join workers;
+      s.submitted
+
+let run_list ~jobs ~on_crash thunks =
+  let results = ref [] in
+  let pool = create ~jobs ~on_crash ~emit:(fun _ r -> results := r :: !results) in
+  List.iter (fun thunk -> submit pool thunk) thunks;
+  let _ = finish pool in
+  List.rev !results

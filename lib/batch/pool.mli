@@ -1,0 +1,33 @@
+(** A work queue and worker pool on OCaml 5 domains, with deterministic
+    in-order result emission.
+
+    Jobs are numbered by submission order.  Workers complete them in any
+    order, but [emit] is always called with consecutive indices 0, 1, 2, …
+    and never concurrently, so output streamed through it is byte-identical
+    regardless of scheduling — the property the batch protocol and the
+    parallel fuzz driver both rely on.
+
+    Crash isolation: a job that raises yields [on_crash index exn] as its
+    result instead of killing its worker or the pool.
+
+    With [jobs <= 1] no domains are spawned at all: [submit] runs the job
+    and emits synchronously in the calling domain, which keeps single-job
+    runs exactly as deterministic as a plain loop. *)
+
+type 'r t
+
+val create : jobs:int -> on_crash:(int -> exn -> 'r) -> emit:(int -> 'r -> unit) -> 'r t
+(** [jobs] is clamped to at least 1.  [emit] must not raise; if it does the
+    exception is swallowed (the pool cannot deliver it anywhere useful). *)
+
+val submit : 'r t -> (int -> 'r) -> unit
+(** Enqueue the next job; it is applied to its own index (the number of
+    prior submissions) when a worker picks it up. *)
+
+val finish : 'r t -> int
+(** Close the queue, wait for every submitted job to complete and be
+    emitted, and join the workers.  Returns the number of jobs processed.
+    The pool must not be used afterwards. *)
+
+val run_list : jobs:int -> on_crash:(int -> exn -> 'r) -> (int -> 'r) list -> 'r list
+(** Convenience: run a fixed job list, returning results in job order. *)

@@ -1,0 +1,204 @@
+type source =
+  | File of string
+  | Inline of string
+  | Example of string
+
+type want =
+  | Outputs
+  | Memory
+  | Trace
+  | Events
+  | Stats
+  | Timing
+
+type job = {
+  id : string option;
+  source : source;
+  engine : Asim.engine;
+  optimize : bool;
+  cycles : int option;
+  inputs : int list;
+  want : want list;
+  timeout_s : float option;
+}
+
+let want_of_string = function
+  | "outputs" -> Some Outputs
+  | "memory" -> Some Memory
+  | "trace" -> Some Trace
+  | "events" -> Some Events
+  | "stats" -> Some Stats
+  | "timing" -> Some Timing
+  | _ -> None
+
+let want_to_string = function
+  | Outputs -> "outputs"
+  | Memory -> "memory"
+  | Trace -> "trace"
+  | Events -> "events"
+  | Stats -> "stats"
+  | Timing -> "timing"
+
+let known_fields =
+  [ "id"; "spec_file"; "spec"; "example"; "engine"; "optimize"; "cycles"; "inputs";
+    "want"; "timeout_s" ]
+
+let ( let* ) = Result.bind
+
+let field_opt json key decode ~expected =
+  match Json.member key json with
+  | None -> Ok None
+  | Some v -> (
+      match decode v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S must be %s" key expected))
+
+let job_of_json json =
+  match json with
+  | Json.Obj fields ->
+      let* () =
+        match List.find_opt (fun (k, _) -> not (List.mem k known_fields)) fields with
+        | Some (k, _) -> Error (Printf.sprintf "unknown field %S" k)
+        | None -> Ok ()
+      in
+      let* id = field_opt json "id" Json.to_string_opt ~expected:"a string" in
+      let* spec_file = field_opt json "spec_file" Json.to_string_opt ~expected:"a string" in
+      let* inline = field_opt json "spec" Json.to_string_opt ~expected:"a string" in
+      let* example = field_opt json "example" Json.to_string_opt ~expected:"a string" in
+      let* source =
+        match (spec_file, inline, example) with
+        | Some p, None, None -> Ok (File p)
+        | None, Some s, None -> Ok (Inline s)
+        | None, None, Some e -> Ok (Example e)
+        | None, None, None -> Error "job needs one of \"spec_file\", \"spec\" or \"example\""
+        | _ -> Error "job must name exactly one of \"spec_file\", \"spec\" or \"example\""
+      in
+      let* engine =
+        let* name = field_opt json "engine" Json.to_string_opt ~expected:"a string" in
+        match name with
+        | None -> Ok Asim.Compiled
+        | Some name -> (
+            match Asim.engine_of_string name with
+            | Some e -> Ok e
+            | None -> Error (Printf.sprintf "unknown engine %S" name))
+      in
+      let* optimize = field_opt json "optimize" Json.to_bool ~expected:"a boolean" in
+      let optimize = Option.value optimize ~default:true in
+      let* cycles = field_opt json "cycles" Json.to_int ~expected:"an integer" in
+      let* () =
+        match cycles with
+        | Some n when n < 0 -> Error "field \"cycles\" must be non-negative"
+        | _ -> Ok ()
+      in
+      let* inputs =
+        match Json.member "inputs" json with
+        | None -> Ok []
+        | Some v -> (
+            match Json.to_list v with
+            | None -> Error "field \"inputs\" must be a list of integers"
+            | Some items ->
+                let ints = List.filter_map Json.to_int items in
+                if List.length ints = List.length items then Ok ints
+                else Error "field \"inputs\" must be a list of integers")
+      in
+      let* want =
+        match Json.member "want" json with
+        | None -> Ok [ Outputs ]
+        | Some v -> (
+            match Json.to_list v with
+            | None -> Error "field \"want\" must be a list of strings"
+            | Some items ->
+                List.fold_left
+                  (fun acc item ->
+                    let* acc = acc in
+                    match Option.bind (Json.to_string_opt item) want_of_string with
+                    | Some w -> Ok (w :: acc)
+                    | None ->
+                        Error
+                          (Printf.sprintf "field \"want\" has an unknown entry %s"
+                             (Json.to_string item)))
+                  (Ok []) items
+                |> Result.map List.rev)
+      in
+      let* timeout_s = field_opt json "timeout_s" Json.to_float ~expected:"a number" in
+      let* () =
+        match timeout_s with
+        | Some s when s < 0.0 -> Error "field \"timeout_s\" must be non-negative"
+        | _ -> Ok ()
+      in
+      Ok { id; source; engine; optimize; cycles; inputs; want; timeout_s }
+  | _ -> Error "job must be a JSON object"
+
+let job_to_json job =
+  let fields = ref [] in
+  let add key value = fields := (key, value) :: !fields in
+  Option.iter (fun s -> add "timeout_s" (Json.Float s)) job.timeout_s;
+  add "want" (Json.List (List.map (fun w -> Json.String (want_to_string w)) job.want));
+  if job.inputs <> [] then
+    add "inputs" (Json.List (List.map (fun i -> Json.Int i) job.inputs));
+  Option.iter (fun n -> add "cycles" (Json.Int n)) job.cycles;
+  if not job.optimize then add "optimize" (Json.Bool false);
+  add "engine" (Json.String (Asim.engine_to_string job.engine));
+  (match job.source with
+  | File p -> add "spec_file" (Json.String p)
+  | Inline s -> add "spec" (Json.String s)
+  | Example e -> add "example" (Json.String e));
+  Option.iter (fun i -> add "id" (Json.String i)) job.id;
+  Json.Obj !fields
+
+(* --- results ---------------------------------------------------------------- *)
+
+type status =
+  | Ok_
+  | Error_ of string
+  | Timeout of int
+
+type outcome = {
+  job : job;
+  status : status;
+  cycles_run : int;
+  outputs : (string * int) list;
+  cells : (string * int list) list;
+  trace : string list;
+  events : string list;
+  stats_json : Json.t option;
+  elapsed_s : float;
+}
+
+let status_class = function
+  | Ok_ -> `Ok
+  | Error_ _ -> `Error
+  | Timeout _ -> `Timeout
+
+let result_to_json ~index outcome =
+  let job = outcome.job in
+  let wanted w = List.mem w job.want in
+  let fields = ref [] in
+  let add key value = fields := (key, value) :: !fields in
+  (* Built in reverse; [add] order below is the reverse of field order. *)
+  if wanted Timing then add "elapsed_ms" (Json.Float (outcome.elapsed_s *. 1000.0));
+  (match outcome.stats_json with Some s when wanted Stats -> add "stats" s | _ -> ());
+  if wanted Events then
+    add "events" (Json.List (List.map (fun e -> Json.String e) outcome.events));
+  if wanted Trace then
+    add "trace" (Json.List (List.map (fun l -> Json.String l) outcome.trace));
+  if wanted Memory && outcome.status = Ok_ then
+    add "memory"
+      (Json.Obj
+         (List.map
+            (fun (name, cells) ->
+              (name, Json.List (List.map (fun c -> Json.Int c) cells)))
+            outcome.cells));
+  if wanted Outputs && outcome.status = Ok_ then
+    add "outputs" (Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) outcome.outputs));
+  (match outcome.status with
+  | Ok_ -> ()
+  | Error_ msg -> add "error" (Json.String msg)
+  | Timeout done_ -> add "cycles_done" (Json.Int done_));
+  add "cycles" (Json.Int outcome.cycles_run);
+  add "status"
+    (Json.String
+       (match outcome.status with Ok_ -> "ok" | Error_ _ -> "error" | Timeout _ -> "timeout"));
+  Option.iter (fun i -> add "id" (Json.String i)) job.id;
+  add "index" (Json.Int index);
+  Json.Obj !fields

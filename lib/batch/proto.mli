@@ -1,0 +1,59 @@
+(** The JSONL job protocol: one job request per input line, one result per
+    output line, results in job order.  The schema is documented in
+    docs/batch.md; this module is its single point of truth in code.
+
+    Determinism contract: every result field except ["elapsed_ms"] (only
+    present when ["timing"] is requested) is a pure function of the job, so
+    result lines are byte-identical across [--jobs] settings. *)
+
+type source =
+  | File of string  (** ["spec_file"]: path to a specification *)
+  | Inline of string  (** ["spec"]: the specification source itself *)
+  | Example of string  (** ["example"]: a built-in {!Asim.Specs} name *)
+
+type want =
+  | Outputs  (** final value of every component *)
+  | Memory  (** final memory images *)
+  | Trace  (** per-cycle trace lines *)
+  | Events  (** I/O events *)
+  | Stats  (** cycle and memory-access statistics *)
+  | Timing  (** wall-clock elapsed_ms (breaks byte-determinism) *)
+
+type job = {
+  id : string option;
+  source : source;
+  engine : Asim.engine;  (** default [Compiled] *)
+  optimize : bool;  (** default [true]; §4.4 optimizations *)
+  cycles : int option;  (** default: the spec's [= N] directive, else 0 *)
+  inputs : int list;  (** feed served to input (op 2) memories *)
+  want : want list;  (** default [[Outputs]] *)
+  timeout_s : float option;  (** per-job wall-clock budget *)
+}
+
+val job_of_json : Json.t -> (job, string) result
+(** Strict: unknown fields, missing/duplicate spec sources, and ill-typed
+    values are errors. *)
+
+val job_to_json : job -> Json.t
+
+type status =
+  | Ok_
+  | Error_ of string
+  | Timeout of int  (** cycles completed when the deadline fired *)
+
+type outcome = {
+  job : job;
+  status : status;
+  cycles_run : int;
+  outputs : (string * int) list;
+  cells : (string * int list) list;
+  trace : string list;
+  events : string list;
+  stats_json : Json.t option;
+  elapsed_s : float;
+}
+
+val result_to_json : index:int -> outcome -> Json.t
+(** The result line for job [index], fields in fixed order. *)
+
+val status_class : status -> [ `Ok | `Error | `Timeout ]

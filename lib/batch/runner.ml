@@ -1,0 +1,203 @@
+open Asim_core
+
+type t = {
+  cache : Asim_analysis.Analysis.t Cache.t;
+  metrics : Metrics.t;
+}
+
+let create ?(cache_capacity = 64) () =
+  { cache = Cache.create ~capacity:cache_capacity; metrics = Metrics.create () }
+
+let cache_key ~engine ~optimize spec =
+  let canonical = Pretty.spec spec in
+  Printf.sprintf "%s:%s:%s"
+    (Digest.to_hex (Digest.string canonical))
+    (Asim.engine_to_string engine)
+    (if optimize then "opt" else "noopt")
+
+let resolve_source = function
+  | Proto.Inline s -> s
+  | Proto.File path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  | Proto.Example name -> (
+      match List.assoc_opt name Asim.Specs.all with
+      | Some source -> source
+      | None -> failwith (Printf.sprintf "unknown example %S" name))
+
+let stats_to_json stats =
+  Json.Obj
+    [
+      ("cycles", Json.Int (Asim.Stats.cycles stats));
+      ( "memories",
+        Json.Obj
+          (List.map
+             (fun (name, (c : Asim.Stats.memory_counters)) ->
+               ( name,
+                 Json.Obj
+                   [
+                     ("reads", Json.Int c.reads);
+                     ("writes", Json.Int c.writes);
+                     ("inputs", Json.Int c.inputs);
+                     ("outputs", Json.Int c.outputs);
+                   ] ))
+             (Asim.Stats.per_memory stats)) );
+      ("total_accesses", Json.Int (Asim.Stats.total_accesses stats));
+    ]
+
+let memory_images (analysis : Asim.Analysis.t) (m : Asim.Machine.t) =
+  List.filter_map
+    (fun (c : Component.t) ->
+      match c.kind with
+      | Component.Memory { cells; _ } ->
+          Some (c.name, List.init cells (fun i -> m.Asim.Machine.read_cell c.name i))
+      | Component.Alu _ | Component.Selector _ -> None)
+    analysis.Asim_analysis.Analysis.spec.Spec.components
+
+let run_job t (job : Proto.job) =
+  let t0 = Unix.gettimeofday () in
+  let wanted w = List.mem w job.Proto.want in
+  let trace_sink, trace_lines =
+    if wanted Proto.Trace then Asim.Trace.list_sink ()
+    else (Asim.Trace.null_sink, fun () -> [])
+  in
+  let io, events = Asim.Io.recording ~feed:job.Proto.inputs () in
+  let outcome =
+    try
+      let source = resolve_source job.Proto.source in
+      let spec = Asim_syntax.Parser.parse_string source in
+      let key = cache_key ~engine:job.Proto.engine ~optimize:job.Proto.optimize spec in
+      let analysis =
+        Cache.find_or_compute t.cache ~key (fun () ->
+            Asim_analysis.Analysis.analyze spec)
+      in
+      let config = { Asim.Machine.io; trace = trace_sink; faults = Asim.Fault.none } in
+      let m =
+        Asim.machine ~config ~engine:job.Proto.engine ~optimize:job.Proto.optimize
+          analysis
+      in
+      let cycles =
+        match job.Proto.cycles with
+        | Some n -> n
+        | None -> Asim.Machine.spec_cycles m ~default:0
+      in
+      let status =
+        try
+          match job.Proto.timeout_s with
+          | None ->
+              Asim.Machine.run m ~cycles;
+              Proto.Ok_
+          | Some budget -> (
+              let deadline = t0 +. budget in
+              match
+                Asim.Machine.run_bounded m ~cycles
+                  ~should_stop:(fun () -> Unix.gettimeofday () > deadline)
+                  ()
+              with
+              | Asim.Machine.Completed -> Proto.Ok_
+              | Asim.Machine.Stopped done_ -> Proto.Timeout done_)
+        with Error.Error e -> Proto.Error_ (Error.to_string e)
+      in
+      {
+        Proto.job;
+        status;
+        cycles_run = m.Asim.Machine.current_cycle ();
+        outputs =
+          (if wanted Proto.Outputs then
+             List.map
+               (fun (c : Component.t) -> (c.name, m.Asim.Machine.read c.name))
+               analysis.Asim_analysis.Analysis.spec.Spec.components
+           else []);
+        cells = (if wanted Proto.Memory then memory_images analysis m else []);
+        trace = trace_lines ();
+        events =
+          (if wanted Proto.Events then List.map Asim.Io.event_to_string (events ())
+           else []);
+        stats_json = (if wanted Proto.Stats then Some (stats_to_json m.Asim.Machine.stats) else None);
+        elapsed_s = Unix.gettimeofday () -. t0;
+      }
+    with
+    | Error.Error e ->
+        {
+          Proto.job;
+          status = Proto.Error_ (Error.to_string e);
+          cycles_run = 0;
+          outputs = [];
+          cells = [];
+          trace = trace_lines ();
+          events = [];
+          stats_json = None;
+          elapsed_s = Unix.gettimeofday () -. t0;
+        }
+    | Sys_error msg | Failure msg ->
+        {
+          Proto.job;
+          status = Proto.Error_ msg;
+          cycles_run = 0;
+          outputs = [];
+          cells = [];
+          trace = trace_lines ();
+          events = [];
+          stats_json = None;
+          elapsed_s = Unix.gettimeofday () -. t0;
+        }
+  in
+  Metrics.record t.metrics
+    ~engine:(Asim.engine_to_string job.Proto.engine)
+    ~status:(Proto.status_class outcome.Proto.status)
+    ~elapsed:outcome.Proto.elapsed_s;
+  outcome
+
+(* --- the JSONL stream driver ------------------------------------------------ *)
+
+let is_blank line = String.trim line = ""
+
+let malformed_result t ~index ~lineno msg =
+  Metrics.record t.metrics ~engine:"manifest" ~status:`Error ~elapsed:0.0;
+  Json.to_string
+    (Json.Obj
+       [
+         ("index", Json.Int index);
+         ("line", Json.Int lineno);
+         ("status", Json.String "error");
+         ("error", Json.String (Printf.sprintf "line %d: %s" lineno msg));
+       ])
+
+let process t ~jobs ~next ~emit =
+  let pool =
+    Pool.create ~jobs
+      ~on_crash:(fun index exn ->
+        Metrics.record t.metrics ~engine:"internal" ~status:`Error ~elapsed:0.0;
+        Json.to_string
+          (Json.Obj
+             [
+               ("index", Json.Int index);
+               ("status", Json.String "error");
+               ("error", Json.String ("internal: " ^ Printexc.to_string exn));
+             ]))
+      ~emit:(fun _index line -> emit line)
+  in
+  let lineno = ref 0 in
+  let rec pump () =
+    match next () with
+    | None -> ()
+    | Some line ->
+        incr lineno;
+        let lineno = !lineno in
+        if not (is_blank line) then
+          Pool.submit pool (fun index ->
+              match Json.parse line with
+              | exception Json.Parse_error msg -> malformed_result t ~index ~lineno msg
+              | json -> (
+                  match Proto.job_of_json json with
+                  | Error msg -> malformed_result t ~index ~lineno msg
+                  | Ok job ->
+                      Json.to_string (Proto.result_to_json ~index (run_job t job))));
+        pump ()
+  in
+  pump ();
+  Pool.finish pool
+
+let summary t ~wall_s = Metrics.summarize t.metrics ~cache:(Cache.stats t.cache) ~wall_s

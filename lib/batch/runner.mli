@@ -1,0 +1,33 @@
+(** Job execution: resolve a spec, compile it through the cache, run it
+    under a deadline, collect requested observables — and the JSONL drivers
+    behind [asim batch] and [asim serve]. *)
+
+type t
+(** A batch session: one compiled-spec cache plus one metrics accumulator,
+    shared by every worker domain. *)
+
+val create : ?cache_capacity:int -> unit -> t
+(** [cache_capacity] defaults to 64 analyzed specs. *)
+
+val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> string
+(** The cache key: an MD5 content hash of the spec's canonical
+    pretty-printed form, qualified by engine and optimization flag.
+    Canonicalizing first makes the key stable across formatting (any source
+    that parses to the same spec shares an entry). *)
+
+val run_job : t -> Proto.job -> Proto.outcome
+(** Execute one job.  Never raises: spec resolution failures, runtime
+    errors and deadline expiry all come back as structured statuses.
+    Timeouts are cooperative — the deadline is polled between simulation
+    cycles, so it cannot interrupt spec parsing or compilation. *)
+
+val process : t -> jobs:int -> next:(unit -> string option) -> emit:(string -> unit) -> int
+(** Drive a JSONL stream: pull manifest lines from [next] until it returns
+    [None], run them on a [jobs]-wide pool, and hand each rendered result
+    line (no trailing newline) to [emit] in job order.  Blank lines are
+    skipped; a malformed line yields an error result naming its 1-based
+    line number while the rest of the stream still runs.  Returns the
+    number of result lines emitted. *)
+
+val summary : t -> wall_s:float -> Metrics.summary
+(** Metrics snapshot for the end-of-run report. *)

@@ -73,9 +73,20 @@ let write_bundle ~dir ~seed ~index ~failure ~original ~shrunk =
 
 (* --- the campaign ----------------------------------------------------------- *)
 
+(* What a worker hands back for one campaign index.  Checking and shrinking
+   run on the worker; everything with observable order (on_spec, log lines,
+   bundle writes, report accumulation) happens at emission, which
+   [Asim_batch.Pool] serializes in index order — so campaign output is
+   deterministic for any --jobs width, and byte-identical to the historical
+   sequential driver. *)
+type work_result = {
+  w_spec : Asim_core.Spec.t option;  (** [None]: skipped (out of time budget) *)
+  w_failure : (failure * Asim_core.Spec.t) option;  (** failure and shrunk witness *)
+}
+
 let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
-    ?(shrink = true) ?(on_spec = fun _ _ -> ()) ?(log = fun _ -> ()) ~seed ~count
-    ~size () =
+    ?(shrink = true) ?(on_spec = fun _ _ -> ()) ?(log = fun _ -> ()) ?(jobs = 1)
+    ~seed ~count ~size () =
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun b -> t0 +. b) time_budget in
   let tested = ref 0 in
@@ -103,47 +114,87 @@ let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
                      (Error.to_string e);
                })
   in
-  let i = ref start in
-  let stop = start + count in
-  while !i < stop && not (out_of_time ()) do
-    let index = !i in
-    let spec = Gen.spec_at size ~seed ~index in
-    on_spec index spec;
-    incr tested;
-    (match check_spec index spec with
+  let work index =
+    if out_of_time () then { w_spec = None; w_failure = None }
+    else begin
+      let spec = Gen.spec_at size ~seed ~index in
+      match check_spec index spec with
+      | None -> { w_spec = Some spec; w_failure = None }
+      | Some failure ->
+          let keep =
+            match failure with
+            | Divergence _ -> fun s -> Oracle.check ?feed ~engines s <> None
+            | Roundtrip_mismatch -> fun s -> not (roundtrips s)
+          in
+          let shrunk = if shrink then Shrink.spec ~keep spec else spec in
+          (* Re-diagnose the shrunk spec so the report names the engine pair
+             and cycle of the *minimized* witness. *)
+          let failure =
+            match failure with
+            | Roundtrip_mismatch -> Roundtrip_mismatch
+            | Divergence d -> (
+                match Oracle.check ?feed ~engines shrunk with
+                | Some d' -> Divergence d'
+                | None -> Divergence d)
+          in
+          { w_spec = Some spec; w_failure = Some (failure, shrunk) }
+    end
+  in
+  let finalize pool_index r =
+    let index = start + pool_index in
+    match r.w_spec with
     | None -> ()
-    | Some failure ->
-        log (Printf.sprintf "spec %d: %s" index (failure_to_string failure));
-        let keep =
-          match failure with
-          | Divergence _ -> fun s -> Oracle.check ?feed ~engines s <> None
-          | Roundtrip_mismatch -> fun s -> not (roundtrips s)
+    | Some spec ->
+        incr tested;
+        on_spec index spec;
+        (match r.w_failure with
+        | None -> ()
+        | Some (failure, shrunk) ->
+            log (Printf.sprintf "spec %d: %s" index (failure_to_string failure));
+            let bundle =
+              match artifacts_dir with
+              | None -> None
+              | Some root ->
+                  let dir =
+                    Filename.concat root (Printf.sprintf "repro-seed%d-%d" seed index)
+                  in
+                  write_bundle ~dir ~seed ~index ~failure ~original:spec ~shrunk;
+                  log
+                    (Printf.sprintf "spec %d: reproducer bundle written to %s" index dir);
+                  Some dir
+            in
+            reports := { index; failure; original = spec; shrunk; bundle } :: !reports)
+  in
+  let pool =
+    Asim_batch.Pool.create ~jobs
+      ~on_crash:(fun pool_index exn ->
+        (* A bug outside the oracle's own error handling: isolate it to this
+           index as a structured failure instead of killing the campaign. *)
+        let reason =
+          Printf.sprintf "spec %d crashed the campaign: %s" (start + pool_index)
+            (Printexc.to_string exn)
         in
-        let shrunk = if shrink then Shrink.spec ~keep spec else spec in
-        (* Re-diagnose the shrunk spec so the report names the engine pair
-           and cycle of the *minimized* witness. *)
-        let failure =
-          match failure with
-          | Roundtrip_mismatch -> Roundtrip_mismatch
-          | Divergence d -> (
-              match Oracle.check ?feed ~engines shrunk with
-              | Some d' -> Divergence d'
-              | None -> Divergence d)
-        in
-        let bundle =
-          match artifacts_dir with
-          | None -> None
-          | Some root ->
-              let dir =
-                Filename.concat root (Printf.sprintf "repro-seed%d-%d" seed index)
-              in
-              write_bundle ~dir ~seed ~index ~failure ~original:spec ~shrunk;
-              log (Printf.sprintf "spec %d: reproducer bundle written to %s" index dir);
-              Some dir
-        in
-        reports := { index; failure; original = spec; shrunk; bundle } :: !reports);
-    incr i
+        let empty = Asim_core.Spec.make [] in
+        {
+          w_spec = Some empty;
+          w_failure =
+            Some
+              ( Divergence
+                  {
+                    Oracle.engine_a = List.hd engines;
+                    engine_b = List.hd engines;
+                    first_cycle = None;
+                    reason;
+                  },
+                empty );
+        })
+      ~emit:finalize
+  in
+  for pool_index = 0 to count - 1 do
+    ignore pool_index;
+    Asim_batch.Pool.submit pool (fun pool_index -> work (start + pool_index))
   done;
+  let _processed = Asim_batch.Pool.finish pool in
   { tested = !tested; reports = List.rev !reports; elapsed = Unix.gettimeofday () -. t0 }
 
 let report_to_string r =

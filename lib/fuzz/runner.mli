@@ -33,6 +33,7 @@ val run :
   ?shrink:bool ->
   ?on_spec:(int -> Asim_core.Spec.t -> unit) ->
   ?log:(string -> unit) ->
+  ?jobs:int ->
   seed:int ->
   count:int ->
   size:Gen.size ->
@@ -43,7 +44,15 @@ val run :
     generated spec before it is checked (the CLI's [--print-specs]); [log]
     receives human-readable progress lines.  Bundles are only written when
     [artifacts_dir] is given; [shrink:false] skips minimization (bundles
-    then contain the original spec twice). *)
+    then contain the original spec twice).
+
+    [jobs] (default 1) spreads campaign indices across that many worker
+    domains via {!Asim_batch.Pool}.  Generation, checking and shrinking are
+    per-index pure, and [on_spec]/[log]/report emission is serialized in
+    index order, so reports are deterministic for every width and the
+    output is byte-identical to the sequential driver; with a time budget
+    and [jobs > 1] the set of indices tested before the deadline may
+    differ. *)
 
 val report_to_string : report -> string
 

@@ -26,6 +26,25 @@ let run t ~cycles =
     t.step ()
   done
 
+type bounded_outcome =
+  | Completed
+  | Stopped of int
+
+let run_bounded t ~cycles ?(check_every = 1024) ~should_stop () =
+  let check_every = max 1 check_every in
+  let rec go done_ =
+    if done_ >= cycles then Completed
+    else if should_stop () then Stopped done_
+    else begin
+      let chunk = min check_every (cycles - done_) in
+      for _ = 1 to chunk do
+        t.step ()
+      done;
+      go (done_ + chunk)
+    end
+  in
+  go 0
+
 let run_until t ~max_cycles ~stop =
   let rec go n =
     if n >= max_cycles then n

@@ -33,6 +33,18 @@ type t = {
 val run : t -> cycles:int -> unit
 (** [run m ~cycles] executes exactly [cycles] steps. *)
 
+type bounded_outcome =
+  | Completed  (** all requested cycles ran *)
+  | Stopped of int  (** [should_stop] held after this many cycles *)
+
+val run_bounded :
+  t -> cycles:int -> ?check_every:int -> should_stop:(unit -> bool) -> unit -> bounded_outcome
+(** Like {!run}, but polls [should_stop] every [check_every] cycles
+    (default 1024) — the cooperative cancellation point that wall-clock
+    timeouts (e.g. [Asim_batch]'s per-job deadlines) hang off.  The predicate
+    is also consulted once before the first cycle, so an already-expired
+    deadline runs nothing. *)
+
 val run_until : t -> max_cycles:int -> stop:(t -> bool) -> int
 (** Step until [stop] holds (checked after each step) or [max_cycles] steps
     have run; returns the number of steps executed. *)

@@ -30,6 +30,8 @@ let count_op t name op =
   | Component.Op_input -> c.inputs <- c.inputs + 1
   | Component.Op_output -> c.outputs <- c.outputs + 1
 
+let per_memory t = t.memories
+
 let total_accesses t =
   List.fold_left
     (fun acc (_, c) -> acc + c.reads + c.writes + c.inputs + c.outputs)

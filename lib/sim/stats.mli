@@ -22,6 +22,11 @@ val memory : t -> string -> memory_counters
 val count_op : t -> string -> Asim_core.Component.memory_op -> unit
 (** Record one memory operation of the given kind. *)
 
+val per_memory : t -> (string * memory_counters) list
+(** All memory counters in declaration order — the structured view behind
+    {!to_string}, for exporters (JSON results, metrics) that need the raw
+    numbers. *)
+
 val total_accesses : t -> int
 (** Sum of all memory reads/writes/inputs/outputs. *)
 

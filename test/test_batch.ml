@@ -1,0 +1,351 @@
+(* The batch subsystem: JSON codec, compiled-spec cache, worker pool,
+   and the JSONL job runner (timeouts, crash isolation, malformed input). *)
+
+open Asim_batch
+
+let counter = "# counter\n= 8\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n"
+
+(* The same machine, formatted differently: extra whitespace, blank lines
+   and a brace comment that the lexer discards.  Parses to the same spec
+   modulo the title, so it must hash to the same cache key. *)
+let counter_reformatted =
+  "# counter\n\n=   8\n  count*    inc  .\n\nA inc 4 count 1   { the adder }\nM count 0 inc 1 1\n.\n"
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+(* --- Json ------------------------------------------------------------------- *)
+
+let test_json_roundtrip () =
+  let v =
+    Json.Obj
+      [
+        ("s", Json.String "a\"b\\c\n\t");
+        ("i", Json.Int (-42));
+        ("f", Json.Float 1.5);
+        ("b", Json.Bool true);
+        ("n", Json.Null);
+        ("l", Json.List [ Json.Int 1; Json.List []; Json.Obj [] ]);
+      ]
+  in
+  Alcotest.(check bool) "print/parse round trip" true (Json.parse (Json.to_string v) = v);
+  (* Field order is preserved, which is what byte-determinism rests on. *)
+  Alcotest.(check string) "deterministic field order"
+    {|{"b":2,"a":1}|}
+    (Json.to_string (Json.Obj [ ("b", Json.Int 2); ("a", Json.Int 1) ]))
+
+let test_json_parse_errors () =
+  let fails s =
+    match Json.parse s with
+    | exception Json.Parse_error _ -> ()
+    | v -> Alcotest.failf "%S parsed as %s" s (Json.to_string v)
+  in
+  List.iter fails [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"open"; "{} trailing"; "1 2" ];
+  (match Json.parse "[1, x]" with
+  | exception Json.Parse_error msg ->
+      Alcotest.(check bool) "error names an offset" true (contains msg "offset")
+  | _ -> Alcotest.fail "accepted [1, x]")
+
+let test_json_accessors () =
+  let v = Json.parse {|{"a":1,"b":"two","c":[true,null],"d":2.5}|} in
+  Alcotest.(check (option int)) "int member" (Some 1)
+    (Option.bind (Json.member "a" v) Json.to_int);
+  Alcotest.(check (option string)) "string member" (Some "two")
+    (Option.bind (Json.member "b" v) Json.to_string_opt);
+  Alcotest.(check (option int)) "absent member" None
+    (Option.bind (Json.member "z" v) Json.to_int);
+  Alcotest.(check bool) "to_float accepts ints" true
+    (Option.bind (Json.member "a" v) Json.to_float = Some 1.0);
+  Alcotest.(check bool) "list member" true
+    (Option.bind (Json.member "c" v) Json.to_list = Some [ Json.Bool true; Json.Null ])
+
+(* --- cache key -------------------------------------------------------------- *)
+
+let test_cache_key_stable () =
+  let spec = Asim.Parser.parse_string counter in
+  let key s = Runner.cache_key ~engine:Asim.Compiled ~optimize:true s in
+  (* Pretty-print round trip: same spec, same key. *)
+  let roundtripped = Asim.Parser.parse_string (Asim.Pretty.spec spec) in
+  Alcotest.(check string) "stable across pretty-print round trip" (key spec)
+    (key roundtripped);
+  (* Reformatting the source (comments, blank lines) changes nothing. *)
+  let reformatted = Asim.Parser.parse_string counter_reformatted in
+  Alcotest.(check string) "stable across reformatting" (key spec) (key reformatted);
+  (* Engine and optimization level are part of the key. *)
+  Alcotest.(check bool) "engine qualifies the key" true
+    (key spec <> Runner.cache_key ~engine:Asim.Interpreter ~optimize:true spec);
+  Alcotest.(check bool) "optimize qualifies the key" true
+    (key spec <> Runner.cache_key ~engine:Asim.Compiled ~optimize:false spec)
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let test_cache_accounting () =
+  let c = Cache.create ~capacity:4 in
+  let computes = ref 0 in
+  let get key =
+    Cache.find_or_compute c ~key (fun () ->
+        incr computes;
+        String.uppercase_ascii key)
+  in
+  Alcotest.(check string) "computed" "A" (get "a");
+  Alcotest.(check string) "cached" "A" (get "a");
+  Alcotest.(check string) "second key" "B" (get "b");
+  Alcotest.(check int) "compute ran once per key" 2 !computes;
+  let s = Cache.stats c in
+  Alcotest.(check int) "hits" 1 s.Cache.hits;
+  Alcotest.(check int) "misses" 2 s.Cache.misses;
+  Alcotest.(check int) "entries" 2 s.Cache.entries;
+  Alcotest.(check int) "no evictions yet" 0 s.Cache.evictions;
+  Alcotest.(check bool) "hit rate" true (abs_float (Cache.hit_rate s -. (1.0 /. 3.0)) < 1e-9)
+
+let test_cache_eviction () =
+  let c = Cache.create ~capacity:2 in
+  let get key = Cache.find_or_compute c ~key (fun () -> key) in
+  ignore (get "a" : string);
+  ignore (get "b" : string);
+  ignore (get "c" : string);
+  (* capacity 2, third key evicts *)
+  let s = Cache.stats c in
+  Alcotest.(check int) "evicted one" 1 s.Cache.evictions;
+  Alcotest.(check int) "still at capacity" 2 s.Cache.entries;
+  (* "a" was the least recently used, so it is the one gone. *)
+  ignore (get "a" : string);
+  Alcotest.(check int) "evicted key recomputes" 4 (Cache.stats c).Cache.misses;
+  (* Touching an entry protects it: a-b-touch(a)-c evicts b, not a. *)
+  let c = Cache.create ~capacity:2 in
+  let get key = Cache.find_or_compute c ~key (fun () -> key) in
+  ignore (get "a" : string);
+  ignore (get "b" : string);
+  ignore (get "a" : string);
+  ignore (get "c" : string);
+  ignore (get "a" : string);
+  let s = Cache.stats c in
+  Alcotest.(check int) "recently used survived" 2 s.Cache.hits
+
+let test_cache_failure_retries () =
+  let c = Cache.create ~capacity:4 in
+  let attempts = ref 0 in
+  let compute () =
+    incr attempts;
+    if !attempts = 1 then failwith "transient" else "ok"
+  in
+  (match Cache.find_or_compute c ~key:"k" compute with
+  | exception Failure m -> Alcotest.(check string) "first compute raises" "transient" m
+  | v -> Alcotest.failf "expected failure, got %S" v);
+  (* The failed entry is not cached; the next call retries. *)
+  Alcotest.(check string) "retry succeeds" "ok" (Cache.find_or_compute c ~key:"k" compute);
+  Alcotest.(check string) "and is now cached" "ok"
+    (Cache.find_or_compute c ~key:"k" compute);
+  Alcotest.(check int) "two computes total" 2 !attempts
+
+let test_cache_single_flight () =
+  (* Four domains race on one cold key: exactly one compute runs. *)
+  let c = Cache.create ~capacity:4 in
+  let computes = Atomic.make 0 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            Cache.find_or_compute c ~key:"shared" (fun () ->
+                Atomic.incr computes;
+                (* widen the race window *)
+                Unix.sleepf 0.01;
+                "value")))
+  in
+  let results = List.map Domain.join domains in
+  Alcotest.(check int) "one compute" 1 (Atomic.get computes);
+  List.iter (fun r -> Alcotest.(check string) "all see the value" "value" r) results;
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "three hits" 3 s.Cache.hits
+
+(* --- pool ------------------------------------------------------------------- *)
+
+let test_pool_ordered_emission () =
+  (* Jobs finish out of order (later jobs sleep less) but must emit in order. *)
+  let emitted = ref [] in
+  let pool =
+    Pool.create ~jobs:4
+      ~on_crash:(fun _ exn -> raise exn)
+      ~emit:(fun index r -> emitted := (index, r) :: !emitted)
+  in
+  for i = 0 to 15 do
+    Pool.submit pool (fun index ->
+        Unix.sleepf (float_of_int ((15 - i) mod 4) *. 0.002);
+        index * 10)
+  done;
+  Alcotest.(check int) "all processed" 16 (Pool.finish pool);
+  let emitted = List.rev !emitted in
+  Alcotest.(check (list (pair int int))) "consecutive indices, computed results"
+    (List.init 16 (fun i -> (i, i * 10)))
+    emitted
+
+let test_pool_crash_isolation () =
+  (* A raising job becomes a structured result; its worker keeps going. *)
+  let results =
+    Pool.run_list ~jobs:2
+      ~on_crash:(fun index exn -> Printf.sprintf "crash %d: %s" index (Printexc.to_string exn))
+      (List.init 8 (fun i ->
+           fun index ->
+            if i = 3 then failwith "boom" else Printf.sprintf "ok %d" index))
+  in
+  Alcotest.(check int) "every job yields a result" 8 (List.length results);
+  List.iteri
+    (fun i r ->
+      if i = 3 then Alcotest.(check bool) "crash is structured" true (contains r "boom")
+      else Alcotest.(check string) "survivors unaffected" (Printf.sprintf "ok %d" i) r)
+    results
+
+let test_pool_sync_is_immediate () =
+  (* jobs=1 runs in the calling domain: emit happens during submit. *)
+  let emitted = ref [] in
+  let pool =
+    Pool.create ~jobs:1 ~on_crash:(fun _ e -> raise e)
+      ~emit:(fun i r -> emitted := (i, r) :: !emitted)
+  in
+  Pool.submit pool (fun i -> i + 100);
+  Alcotest.(check (list (pair int int))) "emitted synchronously" [ (0, 100) ] !emitted;
+  Alcotest.(check int) "finish count" 1 (Pool.finish pool)
+
+(* --- runner ----------------------------------------------------------------- *)
+
+let job ?id ?(engine = Asim.Compiled) ?(optimize = true) ?cycles ?(inputs = [])
+    ?(want = [ Proto.Outputs ]) ?timeout_s source =
+  { Proto.id; source; engine; optimize; cycles; inputs; want; timeout_s }
+
+let test_runner_cached_equals_fresh () =
+  (* The same job through a warm cache must render the identical result line
+     (trace included) as through a cold one. *)
+  let render t j = Json.to_string (Proto.result_to_json ~index:0 (Runner.run_job t j)) in
+  let j = job (Proto.Inline counter) ~want:[ Proto.Outputs; Proto.Memory; Proto.Trace; Proto.Stats ] in
+  let cold = Runner.create () in
+  let fresh = render cold j in
+  let warm = Runner.create () in
+  ignore (Runner.run_job warm j : Proto.outcome);
+  let cached = render warm j in
+  Alcotest.(check string) "cache does not change results" fresh cached;
+  let s = (Runner.summary warm ~wall_s:1.0).Metrics.cache in
+  Alcotest.(check int) "warm runner hit the cache" 1 s.Cache.hits
+
+let test_runner_outputs () =
+  let t = Runner.create () in
+  let o = Runner.run_job t (job (Proto.Inline counter)) in
+  Alcotest.(check bool) "ok" true (o.Proto.status = Proto.Ok_);
+  Alcotest.(check int) "ran the spec's cycle directive" 8 o.Proto.cycles_run;
+  Alcotest.(check (option int)) "counter wrapped to 8 mod 16" (Some 8)
+    (List.assoc_opt "count" o.Proto.outputs)
+
+let test_runner_timeout () =
+  let t = Runner.create () in
+  (* A zero budget expires before the first cycle: structured timeout. *)
+  let o = Runner.run_job t (job (Proto.Inline counter) ~cycles:1_000_000 ~timeout_s:0.0) in
+  (match o.Proto.status with
+  | Proto.Timeout done_ -> Alcotest.(check int) "stopped before any cycle" 0 done_
+  | _ -> Alcotest.fail "expected a timeout status");
+  (* The runner (and its cache) is still healthy afterwards. *)
+  let o2 = Runner.run_job t (job (Proto.Inline counter)) in
+  Alcotest.(check bool) "next job runs fine" true (o2.Proto.status = Proto.Ok_);
+  let line = Json.to_string (Proto.result_to_json ~index:7 o) in
+  Alcotest.(check bool) "timeout line carries cycles_done" true
+    (contains line {|"status":"timeout"|} && contains line {|"cycles_done":0|})
+
+let test_runner_errors_are_structured () =
+  let t = Runner.create () in
+  let bad = Runner.run_job t (job (Proto.Example "no-such-example")) in
+  (match bad.Proto.status with
+  | Proto.Error_ msg -> Alcotest.(check bool) "names the example" true (contains msg "no-such-example")
+  | _ -> Alcotest.fail "expected an error status");
+  let unparsable = Runner.run_job t (job (Proto.Inline "# bad\nx .\nQ x\n.\n")) in
+  Alcotest.(check bool) "parse failure is structured" true
+    (Proto.status_class unparsable.Proto.status = `Error)
+
+let drive t ~jobs lines =
+  let remaining = ref lines in
+  let next () =
+    match !remaining with
+    | [] -> None
+    | l :: rest ->
+        remaining := rest;
+        Some l
+  in
+  let out = ref [] in
+  let n = Runner.process t ~jobs ~next ~emit:(fun l -> out := l :: !out) in
+  (n, List.rev !out)
+
+let counter_job_line = {|{"spec":"# counter\n= 8\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n"}|}
+
+let test_process_malformed_lines () =
+  let t = Runner.create () in
+  let n, out =
+    drive t ~jobs:2
+      [ counter_job_line; "this is not json"; ""; {|{"example":"counter","frobnicate":1}|};
+        counter_job_line ]
+  in
+  Alcotest.(check int) "four results (blank line skipped)" 4 n;
+  let line i = List.nth out i in
+  Alcotest.(check bool) "good job before still ran" true (contains (line 0) {|"status":"ok"|});
+  Alcotest.(check bool) "malformed names its line" true
+    (contains (line 1) {|"line":2|} && contains (line 1) {|"status":"error"|});
+  Alcotest.(check bool) "unknown field names its line" true
+    (contains (line 2) {|"line":4|} && contains (line 2) "frobnicate");
+  Alcotest.(check bool) "good job after still ran" true (contains (line 3) {|"status":"ok"|})
+
+let test_process_byte_identical_across_jobs () =
+  let lines =
+    List.init 12 (fun i ->
+        if i mod 3 = 2 then "garbage line " ^ string_of_int i else counter_job_line)
+  in
+  let run jobs =
+    let t = Runner.create () in
+    snd (drive t ~jobs lines)
+  in
+  let sequential = run 1 in
+  Alcotest.(check (list string)) "jobs=2 byte-identical" sequential (run 2);
+  Alcotest.(check (list string)) "jobs=4 byte-identical" sequential (run 4)
+
+let test_process_cache_hit_rate () =
+  (* 64 identical jobs: 1 miss, 63 hits — the >90% acceptance bar. *)
+  let t = Runner.create () in
+  let n, _ = drive t ~jobs:4 (List.init 64 (fun _ -> counter_job_line)) in
+  Alcotest.(check int) "all ran" 64 n;
+  let s = (Runner.summary t ~wall_s:1.0).Metrics.cache in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "the rest hit" 63 s.Cache.hits;
+  Alcotest.(check bool) "hit rate clears 90%" true (Cache.hit_rate s > 0.9)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "key stability" `Quick test_cache_key_stable;
+          Alcotest.test_case "hit/miss accounting" `Quick test_cache_accounting;
+          Alcotest.test_case "eviction at capacity" `Quick test_cache_eviction;
+          Alcotest.test_case "failed compute retries" `Quick test_cache_failure_retries;
+          Alcotest.test_case "single flight" `Quick test_cache_single_flight;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "ordered emission" `Quick test_pool_ordered_emission;
+          Alcotest.test_case "crash isolation" `Quick test_pool_crash_isolation;
+          Alcotest.test_case "sync mode" `Quick test_pool_sync_is_immediate;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "outputs" `Quick test_runner_outputs;
+          Alcotest.test_case "cached equals fresh" `Quick test_runner_cached_equals_fresh;
+          Alcotest.test_case "timeout" `Quick test_runner_timeout;
+          Alcotest.test_case "structured errors" `Quick test_runner_errors_are_structured;
+          Alcotest.test_case "malformed lines" `Quick test_process_malformed_lines;
+          Alcotest.test_case "byte-identical across jobs" `Quick
+            test_process_byte_identical_across_jobs;
+          Alcotest.test_case "cache hit rate" `Quick test_process_cache_hit_rate;
+        ] );
+    ]

@@ -279,6 +279,93 @@ let test_fuzz_divergence_bundle () =
       Alcotest.(check bool) "bundle keeps the original" true
         (Sys.file_exists (Filename.concat bundle "original.asim")))
 
+let manifest_lines =
+  [
+    {|{"example":"counter","id":"a"}|};
+    {|{"example":"counter","engine":"interp","id":"b","want":["outputs","stats"]}|};
+    "not json at all";
+    {|{"example":"counter","cycles":3,"id":"d"}|};
+  ]
+
+let with_manifest f =
+  let path = Filename.temp_file "asim-cli" ".jsonl" in
+  write_file path (String.concat "\n" manifest_lines ^ "\n");
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let test_batch_smoke () =
+  with_manifest (fun path ->
+      let code, text = run_cli (Printf.sprintf "batch %s --jobs 2" (Filename.quote path)) in
+      (* The malformed line makes the whole run exit 1, but every job still
+         gets its result line and the metrics summary still prints. *)
+      Alcotest.(check int) "malformed line fails the run" 1 code;
+      List.iter
+        (fun needle -> Alcotest.(check bool) needle true (contains text needle))
+        [
+          {|{"index":0,"id":"a","status":"ok","cycles":8,"outputs":|};
+          {|"index":2,"line":3,"status":"error"|};
+          {|{"index":3,"id":"d","status":"ok","cycles":3,|};
+          "batch: 4 jobs (3 ok, 1 errors, 0 timeouts)"; "cache:"; "hit rate";
+        ])
+
+let test_batch_jobs_byte_identical () =
+  (* The acceptance bar: the same manifest at --jobs 1 and --jobs 2 writes
+     byte-identical result files. *)
+  with_manifest (fun path ->
+      let out1 = Filename.temp_file "asim-cli" ".out1" in
+      let out2 = Filename.temp_file "asim-cli" ".out2" in
+      Fun.protect
+        ~finally:(fun () ->
+          Sys.remove out1;
+          Sys.remove out2)
+        (fun () ->
+          let _ =
+            run_cli
+              (Printf.sprintf "batch %s --jobs 1 -o %s" (Filename.quote path)
+                 (Filename.quote out1))
+          in
+          let _ =
+            run_cli
+              (Printf.sprintf "batch %s --jobs 2 -o %s" (Filename.quote path)
+                 (Filename.quote out2))
+          in
+          Alcotest.(check string) "byte-identical results" (read_file out1)
+            (read_file out2)))
+
+let test_batch_missing_manifest () =
+  let code, _ = run_cli "batch /nonexistent/manifest.jsonl" in
+  Alcotest.(check bool) "unopenable manifest fails" true (code <> 0)
+
+let test_serve_stdin () =
+  let code, text =
+    run_cli
+      ~stdin_text:{|{"example":"counter"}
+{"example":"stack-machine-sieve","want":[]}
+|}
+      "serve --no-metrics"
+  in
+  Alcotest.(check int) "clean session" 0 code;
+  Alcotest.(check bool) "first result" true (contains text {|{"index":0,"status":"ok","cycles":8,"outputs":|});
+  Alcotest.(check bool) "sieve ran its cycle directive" true
+    (contains text {|{"index":1,"status":"ok","cycles":5545}|})
+
+let test_fuzz_jobs_deterministic () =
+  (* The parallel fuzz driver must report exactly what the sequential one
+     does; only the timing in the summary line may differ. *)
+  let strip text =
+    String.split_on_char '\n' text |> List.filter (fun l -> not (contains l "specs tested"))
+  in
+  let code_seq, seq = run_cli "fuzz --seed 11 --count 40 --print-specs -q" in
+  let code_par, par = run_cli "fuzz --seed 11 --count 40 --print-specs -q --jobs 2" in
+  Alcotest.(check int) "sequential exit" 0 code_seq;
+  Alcotest.(check int) "parallel exit" 0 code_par;
+  Alcotest.(check (list string)) "identical output" (strip seq) (strip par);
+  let code_bug_seq, bug_seq = run_cli "fuzz --seed 42 --count 60 --inject-bug -q" in
+  let code_bug_par, bug_par = run_cli "fuzz --seed 42 --count 60 --inject-bug -q --jobs 3" in
+  Alcotest.(check int) "sequential divergence exit" 1 code_bug_seq;
+  Alcotest.(check int) "parallel divergence exit" 1 code_bug_par;
+  Alcotest.(check (list string)) "identical divergence reports" (strip bug_seq)
+    (strip bug_par)
+
 let test_errors () =
   let code, _ = run_cli "run /nonexistent/file.asim" in
   Alcotest.(check bool) "missing file fails" true (code <> 0);
@@ -315,6 +402,13 @@ let () =
             test_fuzz_replay_deterministic;
           Alcotest.test_case "fuzz divergence bundle" `Quick
             test_fuzz_divergence_bundle;
+          Alcotest.test_case "fuzz parallel determinism" `Quick
+            test_fuzz_jobs_deterministic;
+          Alcotest.test_case "batch smoke" `Quick test_batch_smoke;
+          Alcotest.test_case "batch jobs byte-identical" `Quick
+            test_batch_jobs_byte_identical;
+          Alcotest.test_case "batch missing manifest" `Quick test_batch_missing_manifest;
+          Alcotest.test_case "serve stdin" `Quick test_serve_stdin;
           Alcotest.test_case "errors" `Quick test_errors;
         ] );
     ]
