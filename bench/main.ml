@@ -399,8 +399,8 @@ let figure_batch () =
                timeout_s = None;
              }))
   in
-  let run_at domains =
-    let t = Asim_batch.Runner.create () in
+  let run_at ?tracer domains =
+    let t = Asim_batch.Runner.create ?tracer () in
     let lines = ref manifest in
     let next () =
       match !lines with
@@ -437,6 +437,26 @@ let figure_batch () =
   Printf.printf "results byte-identical across widths: %b\n" byte_identical;
   Printf.printf "(only %d core(s) online here; speedup needs real parallel hardware)\n"
     (Domain.recommended_domain_count ());
+  (* Instrumentation overhead: the same 64 jobs at width 1 with a live
+     tracer vs without.  Plain and traced runs are interleaved (so clock
+     drift, GC state and cache warmth bias neither side) and each side
+     takes its minimum, which filters scheduler noise; target < 3%. *)
+  let overhead_reps = 5 in
+  let plain_wall = ref infinity and traced_wall = ref infinity in
+  let span_count = ref 0 in
+  for _ = 1 to overhead_reps do
+    let _, plain, _ = run_at 1 in
+    plain_wall := Float.min !plain_wall plain;
+    let tracer = Asim_obs.Tracer.create () in
+    let _, traced, _ = run_at ~tracer 1 in
+    span_count := Asim_obs.Tracer.event_count tracer;
+    traced_wall := Float.min !traced_wall traced
+  done;
+  let plain_wall = !plain_wall and traced_wall = !traced_wall in
+  let overhead_pct = 100.0 *. ((traced_wall /. plain_wall) -. 1.0) in
+  Printf.printf
+    "tracing overhead at width 1: plain %.3f s, traced %.3f s (%+.2f%%, %d spans)\n"
+    plain_wall traced_wall overhead_pct !span_count;
   let json =
     Asim_batch.Json.Obj
       [
@@ -464,6 +484,14 @@ let figure_batch () =
                        Asim_batch.Metrics.to_json summary );
                    ])
                runs) );
+        ( "tracing_overhead",
+          Asim_batch.Json.Obj
+            [
+              ("plain_wall_s", Asim_batch.Json.Float plain_wall);
+              ("traced_wall_s", Asim_batch.Json.Float traced_wall);
+              ("overhead_pct", Asim_batch.Json.Float overhead_pct);
+              ("span_count", Asim_batch.Json.Int !span_count);
+            ] );
       ]
   in
   let oc = open_out "BENCH_batch.json" in

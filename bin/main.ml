@@ -4,11 +4,18 @@
    coverage, asm, wavediff, fuzz, batch, serve, fmt, example. *)
 
 open Cmdliner
+module Obs_clock = Asim_obs.Clock
+module Obs_tracer = Asim_obs.Tracer
 
 let load path =
   try Ok (Asim.load_file path) with
   | Asim.Error.Error e -> Error (Asim.Error.to_string e)
   | Sys_error msg -> Error msg
+
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 let or_die = function
   | Ok v -> v
@@ -47,6 +54,24 @@ let engine_arg =
     & opt engine_conv Asim.Compiled
     & info [ "e"; "engine" ] ~docv:"ENGINE"
         ~doc:"Simulation engine: $(b,interp) (the ASIM baseline) or $(b,compiled) (ASIM II).")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON of pipeline and runtime spans to \
+           FILE — load it in Perfetto (ui.perfetto.dev) or chrome://tracing.  \
+           See docs/observability.md.")
+
+(* Build the tracer for a --trace-out flag; [None] costs nothing. *)
+let tracer_for = function
+  | None -> Obs_tracer.null
+  | Some _ -> Obs_tracer.create ()
+
+let write_trace trace_out tracer =
+  match trace_out with None -> () | Some path -> Obs_tracer.write tracer path
 
 (* --- check ---------------------------------------------------------------- *)
 
@@ -125,18 +150,43 @@ let fault_conv =
   Arg.conv (parse, fun ppf (f : Asim.Fault.fault) -> Format.pp_print_string ppf f.component)
 
 let run_cmd =
-  let run path engine cycles stats quiet vcd faults interactive =
-    let analysis = or_die (load path) in
+  let run path engine cycles stats quiet vcd faults interactive trace_out stats_json =
+    let tracer = tracer_for trace_out in
+    (* Stage timings come from {!Asim_obs.Clock} so --stats-json is
+       deterministic under a mock clock; the same boundaries become
+       pipeline.* spans when --trace-out is on. *)
+    let timed name f =
+      let t0 = Obs_clock.now () in
+      match Obs_tracer.span tracer name f with
+      | v -> (v, Obs_clock.now () -. t0)
+      | exception Asim.Error.Error e ->
+          write_trace trace_out tracer;
+          prerr_endline ("asim: " ^ Asim.Error.to_string e);
+          exit 1
+      | exception Sys_error msg ->
+          write_trace trace_out tracer;
+          prerr_endline ("asim: " ^ msg);
+          exit 1
+    in
+    let spec, parse_s = timed "pipeline.parse" (fun () -> Asim.Parser.parse_file path) in
+    let analysis, analyze_s =
+      timed "pipeline.analyze" (fun () -> Asim.Analysis.analyze spec)
+    in
     print_warnings analysis;
     let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
     let config = { Asim.Machine.default_config with trace; faults } in
-    let machine = Asim.machine ~config ~engine analysis in
+    let machine, build_s =
+      timed "pipeline.build" (fun () -> Asim.machine ~config ~engine analysis)
+    in
     let cycles =
       match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:0
     in
+    let run_t0 = Obs_clock.now () in
     (try
        match vcd with
-       | Some path -> Asim.Vcd.record_to_file machine ~cycles ~path
+       | Some path ->
+           Obs_tracer.span tracer "pipeline.simulate" (fun () ->
+               Asim.Vcd.record_to_file machine ~cycles ~path)
        | None ->
            if interactive then begin
              (* The original's dialogue (Appendix A): ask for the cycle
@@ -159,14 +209,67 @@ let run_cmd =
                  continue := false
              done
            end
+           else if Obs_tracer.is_active tracer then begin
+             (* Chunked so the trace shows simulation progress over time
+                rather than one opaque block. *)
+             let chunk = 1000 in
+             let rec go done_ =
+               if done_ < cycles then begin
+                 let n = min chunk (cycles - done_) in
+                 Obs_tracer.span tracer "pipeline.simulate"
+                   ~args:
+                     [
+                       ("start_cycle", string_of_int done_);
+                       ("cycles", string_of_int n);
+                     ]
+                   (fun () -> Asim.Machine.run machine ~cycles:n);
+                 go (done_ + n)
+               end
+             in
+             go 0
+           end
            else Asim.Machine.run machine ~cycles
      with Asim.Error.Error e ->
+       write_trace trace_out tracer;
        prerr_endline ("asim: " ^ Asim.Error.to_string e);
        exit 1);
-    if stats then print_endline (Asim.Stats.to_string machine.Asim.Machine.stats)
+    let run_s = Obs_clock.now () -. run_t0 in
+    if stats then print_endline (Asim.Stats.to_string machine.Asim.Machine.stats);
+    (match stats_json with
+    | None -> ()
+    | Some out ->
+        let open Asim_batch.Json in
+        let json =
+          Obj
+            [
+              ("spec", String path);
+              ("engine", String (Asim.engine_to_string engine));
+              ("cycles", Int (machine.Asim.Machine.current_cycle ()));
+              ("stats", Asim_batch.Runner.stats_to_json machine.Asim.Machine.stats);
+              ( "timings",
+                Obj
+                  [
+                    ("parse_s", Float parse_s);
+                    ("analyze_s", Float analyze_s);
+                    ("build_s", Float build_s);
+                    ("run_s", Float run_s);
+                  ] );
+            ]
+        in
+        write_text_file out (to_string json ^ "\n"));
+    write_trace trace_out tracer
   in
   let stats_arg =
     Arg.(value & flag & info [ "stats" ] ~doc:"Print cycle and memory-access statistics.")
+  in
+  let stats_json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-json" ] ~docv:"FILE"
+          ~doc:
+            "Write machine statistics, cycle count and per-stage wall-clock \
+             timings to FILE as JSON.")
   in
   let quiet_arg = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress trace output.") in
   let vcd_arg =
@@ -194,7 +297,7 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc:"Simulate a specification.")
     Term.(
       const run $ file_arg $ engine_arg $ cycles_arg $ stats_arg $ quiet_arg $ vcd_arg
-      $ faults_arg $ interactive_arg)
+      $ faults_arg $ interactive_arg $ trace_out_arg $ stats_json_arg)
 
 (* --- codegen --------------------------------------------------------------- *)
 
@@ -240,7 +343,7 @@ let codegen_cmd =
 (* --- pipeline --------------------------------------------------------------- *)
 
 let pipeline_cmd =
-  let run path lang cycles show_output =
+  let run path lang cycles show_output trace_out =
     let analysis = or_die (load path) in
     let lang =
       match lang with
@@ -249,7 +352,10 @@ let pipeline_cmd =
           Asim_codegen.Codegen.Ocaml
       | l -> l
     in
-    match Asim_codegen.Pipeline.run ?cycles ~lang analysis with
+    let tracer = tracer_for trace_out in
+    let result = Asim_codegen.Pipeline.run ?cycles ~tracer ~lang analysis in
+    write_trace trace_out tracer;
+    match result with
     | Error msg ->
         prerr_endline ("asim: " ^ msg);
         exit 1
@@ -266,7 +372,7 @@ let pipeline_cmd =
   Cmd.v
     (Cmd.info "pipeline"
        ~doc:"Generate, compile and execute a simulator binary; report stage timings.")
-    Term.(const run $ file_arg $ lang_arg $ cycles_arg $ show_output_arg)
+    Term.(const run $ file_arg $ lang_arg $ cycles_arg $ show_output_arg $ trace_out_arg)
 
 (* --- netlist ---------------------------------------------------------------- *)
 
@@ -563,7 +669,7 @@ let wavediff_cmd =
 
 let fuzz_cmd =
   let run seed count start max_comb max_mem cycles wide engines artifacts
-      time_budget inject_bug print_specs no_shrink quiet fuzz_jobs =
+      time_budget inject_bug print_specs no_shrink quiet fuzz_jobs trace_out =
     let size = { Asim_fuzz.Gen.max_comb; max_mem; cycles; wide } in
     let engines = if inject_bug then engines @ [ Asim_fuzz.Oracle.Buggy ] else engines in
     (match engines with
@@ -576,10 +682,13 @@ let fuzz_cmd =
         Printf.printf "# --- spec %d ---\n%s" index (Asim.Pretty.spec spec)
     in
     let log = if quiet then fun _ -> () else print_endline in
+    let tracer = tracer_for trace_out in
     let outcome =
-      Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~engines ~start
-        ~shrink:(not no_shrink) ~on_spec ~log ~jobs:fuzz_jobs ~seed ~count ~size ()
+      Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~tracer ~engines
+        ~start ~shrink:(not no_shrink) ~on_spec ~log ~jobs:fuzz_jobs ~seed ~count
+        ~size ()
     in
+    write_trace trace_out tracer;
     List.iter
       (fun r -> print_endline (Asim_fuzz.Runner.report_to_string r))
       outcome.Asim_fuzz.Runner.reports;
@@ -699,7 +808,7 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ start_arg $ max_components_arg
       $ max_memories_arg $ fuzz_cycles_arg $ wide_arg $ engines_arg
       $ artifacts_arg $ time_budget_arg $ inject_bug_arg $ print_specs_arg
-      $ no_shrink_arg $ quiet_arg $ fuzz_jobs_arg)
+      $ no_shrink_arg $ quiet_arg $ fuzz_jobs_arg $ trace_out_arg)
 
 (* --- batch / serve ----------------------------------------------------------- *)
 
@@ -721,9 +830,10 @@ let no_metrics_arg =
     & info [ "no-metrics" ] ~doc:"Suppress the end-of-run metrics summary on stderr.")
 
 let batch_cmd =
-  let run manifest jobs cache_capacity output no_metrics =
-    let t = Asim_batch.Runner.create ~cache_capacity () in
-    let t0 = Unix.gettimeofday () in
+  let run manifest jobs cache_capacity output no_metrics trace_out =
+    let tracer = tracer_for trace_out in
+    let t = Asim_batch.Runner.create ~cache_capacity ~tracer () in
+    let t0 = Obs_clock.now () in
     let ic =
       try open_in manifest
       with Sys_error msg ->
@@ -745,7 +855,8 @@ let batch_cmd =
     let _jobs_run = Asim_batch.Runner.process t ~jobs ~next ~emit in
     close_in ic;
     close_oc ();
-    let s = Asim_batch.Runner.summary t ~wall_s:(Unix.gettimeofday () -. t0) in
+    write_trace trace_out tracer;
+    let s = Asim_batch.Runner.summary t ~wall_s:(Obs_clock.now () -. t0) in
     if not no_metrics then prerr_string (Asim_batch.Metrics.to_string s);
     if s.Asim_batch.Metrics.errors + s.Asim_batch.Metrics.timeouts > 0 then exit 1
   in
@@ -767,12 +878,32 @@ let batch_cmd =
           shared compiled-spec cache; emit one result line per job, in job order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_capacity_arg $ output_arg
-      $ no_metrics_arg)
+      $ no_metrics_arg $ trace_out_arg)
 
 let serve_cmd =
-  let run jobs cache_capacity socket no_metrics =
+  let run jobs cache_capacity socket no_metrics metrics_file metrics_interval =
     let t = Asim_batch.Runner.create ~cache_capacity () in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Obs_clock.now () in
+    (match metrics_file with
+    | None -> ()
+    | Some path ->
+        (* Periodic Prometheus scrape target: write to a sidecar file on an
+           interval (write-then-rename so scrapers never see a torn file).
+           The domain dies with the process — serve runs until killed. *)
+        let interval = Float.max 0.1 metrics_interval in
+        ignore
+          (Domain.spawn (fun () ->
+               let rec loop () =
+                 Unix.sleepf interval;
+                 (try
+                    let tmp = path ^ ".tmp" in
+                    write_text_file tmp (Asim_batch.Runner.prometheus t);
+                    Sys.rename tmp path
+                  with Sys_error _ -> ());
+                 loop ()
+               in
+               loop ())
+            : unit Domain.t));
     (* One session per stream; the runner (cache + metrics) outlives it, so
        a long-lived server amortizes compilation across connections. *)
     let session ic oc =
@@ -786,7 +917,7 @@ let serve_cmd =
       if not no_metrics then
         prerr_string
           (Asim_batch.Metrics.to_string
-             (Asim_batch.Runner.summary t ~wall_s:(Unix.gettimeofday () -. t0)))
+             (Asim_batch.Runner.summary t ~wall_s:(Obs_clock.now () -. t0)))
     in
     match socket with
     | None -> session stdin stdout
@@ -815,12 +946,29 @@ let serve_cmd =
             "Listen on a Unix socket instead of stdin/stdout; each connection is \
              one JSONL job stream (the cache persists across connections).")
   in
+  let metrics_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "metrics-file" ] ~docv:"FILE"
+          ~doc:
+            "Periodically write the live metrics in Prometheus text format to \
+             FILE (atomically, via rename).  Clients can also request the same \
+             text in-band with a $(b,{\"control\":\"metrics\"}) line.")
+  in
+  let metrics_interval_arg =
+    Arg.(
+      value & opt float 10.0
+      & info [ "metrics-interval" ] ~docv:"SECONDS"
+          ~doc:"Seconds between $(b,--metrics-file) writes (default 10).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Long-running job service: read JSONL jobs from stdin (or a Unix socket) \
           and stream results back in job order.")
-    Term.(const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ no_metrics_arg)
+    Term.(
+      const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ no_metrics_arg
+      $ metrics_file_arg $ metrics_interval_arg)
 
 (* --- fmt -------------------------------------------------------------------- *)
 

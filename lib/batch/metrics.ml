@@ -1,24 +1,66 @@
+module Registry = Asim_obs.Registry
+
 type t = {
   mutex : Mutex.t;
-  mutable ok : int;
-  mutable errors : int;
-  mutable timeouts : int;
+  registry : Registry.t;
+  ok_c : Registry.counter;
+  error_c : Registry.counter;
+  timeout_c : Registry.counter;
   by_engine : (string, float list ref) Hashtbl.t;  (** elapsed seconds, unordered *)
+  hists : (string, Registry.histogram) Hashtbl.t;
 }
 
+let status_counter registry status =
+  Registry.counter registry ~help:"Finished jobs by status"
+    ~labels:[ ("status", status) ]
+    "asim_jobs_total"
+
 let create () =
-  { mutex = Mutex.create (); ok = 0; errors = 0; timeouts = 0; by_engine = Hashtbl.create 4 }
+  let registry = Registry.create () in
+  {
+    mutex = Mutex.create ();
+    registry;
+    ok_c = status_counter registry "ok";
+    error_c = status_counter registry "error";
+    timeout_c = status_counter registry "timeout";
+    by_engine = Hashtbl.create 4;
+    hists = Hashtbl.create 4;
+  }
+
+let registry t = t.registry
+
+let engine_hist t engine =
+  match Hashtbl.find_opt t.hists engine with
+  | Some h -> h
+  | None ->
+      let h =
+        Registry.histogram t.registry ~help:"Job wall-clock duration"
+          ~labels:[ ("engine", engine) ]
+          "asim_job_duration_seconds"
+      in
+      Hashtbl.replace t.hists engine h;
+      h
 
 let record t ~engine ~status ~elapsed =
   Mutex.lock t.mutex;
-  (match status with
-  | `Ok -> t.ok <- t.ok + 1
-  | `Error -> t.errors <- t.errors + 1
-  | `Timeout -> t.timeouts <- t.timeouts + 1);
+  Registry.inc
+    (match status with `Ok -> t.ok_c | `Error -> t.error_c | `Timeout -> t.timeout_c);
+  Registry.observe (engine_hist t engine) elapsed;
   (match Hashtbl.find_opt t.by_engine engine with
   | Some cell -> cell := elapsed :: !cell
   | None -> Hashtbl.replace t.by_engine engine (ref [ elapsed ]));
   Mutex.unlock t.mutex
+
+let set_cache t (cache : Cache.stats) =
+  let g name help = Registry.gauge t.registry ~help name in
+  Registry.set (g "asim_cache_hits" "Compiled-spec cache hits") (float_of_int cache.Cache.hits);
+  Registry.set (g "asim_cache_misses" "Compiled-spec cache misses") (float_of_int cache.Cache.misses);
+  Registry.set
+    (g "asim_cache_evictions" "Compiled-spec cache evictions")
+    (float_of_int cache.Cache.evictions);
+  Registry.set (g "asim_cache_entries" "Compiled-spec cache live entries") (float_of_int cache.Cache.entries);
+  Registry.set (g "asim_cache_capacity" "Compiled-spec cache capacity") (float_of_int cache.Cache.capacity);
+  Registry.set (g "asim_cache_hit_ratio" "Compiled-spec cache hit ratio") (Cache.hit_rate cache)
 
 type engine_latency = {
   engine : string;
@@ -49,6 +91,8 @@ let percentile sorted p =
     sorted.(max 0 (min (n - 1) (rank - 1)))
   end
 
+let count_of c = int_of_float (Registry.counter_value c)
+
 let summarize t ~cache ~wall_s =
   Mutex.lock t.mutex;
   let latencies =
@@ -69,20 +113,16 @@ let summarize t ~cache ~wall_s =
       t.by_engine []
     |> List.sort (fun a b -> String.compare a.engine b.engine)
   in
-  let jobs = t.ok + t.errors + t.timeouts in
-  let s =
-    {
-      jobs;
-      ok = t.ok;
-      errors = t.errors;
-      timeouts = t.timeouts;
-      wall_s;
-      jobs_per_sec = (if wall_s > 0.0 then float_of_int jobs /. wall_s else 0.0);
-      cache;
-      latencies;
-    }
+  let ok = count_of t.ok_c and errors = count_of t.error_c and timeouts = count_of t.timeout_c in
+  let jobs = ok + errors + timeouts in
+  let jobs_per_sec =
+    (* Guard the division: a sub-resolution wall clock (or a frozen mock
+       clock) must not turn throughput into inf/nan. *)
+    if Float.is_finite wall_s && wall_s > 0.0 then float_of_int jobs /. wall_s else 0.0
   in
+  let s = { jobs; ok; errors; timeouts; wall_s; jobs_per_sec; cache; latencies } in
   Mutex.unlock t.mutex;
+  set_cache t cache;
   s
 
 let to_string s =

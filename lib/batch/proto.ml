@@ -53,6 +53,10 @@ let field_opt json key decode ~expected =
       | Some x -> Ok (Some x)
       | None -> Error (Printf.sprintf "field %S must be %s" key expected))
 
+type request =
+  | Run of job
+  | Metrics
+
 let job_of_json json =
   match json with
   | Json.Obj fields ->
@@ -128,6 +132,18 @@ let job_of_json json =
       in
       Ok { id; source; engine; optimize; cycles; inputs; want; timeout_s }
   | _ -> Error "job must be a JSON object"
+
+let request_of_json json =
+  match Json.member "control" json with
+  | Some v -> (
+      match Json.to_string_opt v with
+      | Some "metrics" -> (
+          match json with
+          | Json.Obj [ _ ] -> Ok Metrics
+          | _ -> Error "a control request carries no other fields")
+      | Some other -> Error (Printf.sprintf "unknown control request %S" other)
+      | None -> Error "field \"control\" must be a string")
+  | None -> Result.map (fun j -> Run j) (job_of_json json)
 
 let job_to_json job =
   let fields = ref [] in

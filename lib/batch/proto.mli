@@ -34,6 +34,16 @@ val job_of_json : Json.t -> (job, string) result
 (** Strict: unknown fields, missing/duplicate spec sources, and ill-typed
     values are errors. *)
 
+type request =
+  | Run of job
+  | Metrics
+      (** [{"control":"metrics"}]: answer with the session's live metrics in
+          Prometheus text format instead of running a simulation. *)
+
+val request_of_json : Json.t -> (request, string) result
+(** A line with a ["control"] field is a control request; anything else is
+    decoded as a job via {!job_of_json}. *)
+
 val job_to_json : job -> Json.t
 
 type status =

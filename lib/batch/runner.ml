@@ -1,12 +1,19 @@
 open Asim_core
+module Clock = Asim_obs.Clock
+module Tracer = Asim_obs.Tracer
 
 type t = {
   cache : Asim_analysis.Analysis.t Cache.t;
   metrics : Metrics.t;
+  tracer : Tracer.t;
 }
 
-let create ?(cache_capacity = 64) () =
-  { cache = Cache.create ~capacity:cache_capacity; metrics = Metrics.create () }
+let create ?(cache_capacity = 64) ?(tracer = Tracer.null) () =
+  {
+    cache = Cache.create ~capacity:cache_capacity;
+    metrics = Metrics.create ();
+    tracer;
+  }
 
 let cache_key ~engine ~optimize spec =
   let canonical = Pretty.spec spec in
@@ -57,7 +64,12 @@ let memory_images (analysis : Asim.Analysis.t) (m : Asim.Machine.t) =
     analysis.Asim_analysis.Analysis.spec.Spec.components
 
 let run_job t (job : Proto.job) =
-  let t0 = Unix.gettimeofday () in
+  let tr = t.tracer in
+  let job_attr =
+    [ ("engine", Asim.engine_to_string job.Proto.engine) ]
+    @ match job.Proto.id with Some id -> [ ("id", id) ] | None -> []
+  in
+  let t0 = Clock.now () in
   let wanted w = List.mem w job.Proto.want in
   let trace_sink, trace_lines =
     if wanted Proto.Trace then Asim.Trace.list_sink ()
@@ -67,16 +79,28 @@ let run_job t (job : Proto.job) =
   let outcome =
     try
       let source = resolve_source job.Proto.source in
-      let spec = Asim_syntax.Parser.parse_string source in
+      let spec =
+        Tracer.span tr ~args:job_attr "pipeline.parse" (fun () ->
+            Asim_syntax.Parser.parse_string source)
+      in
       let key = cache_key ~engine:job.Proto.engine ~optimize:job.Proto.optimize spec in
+      let hit = ref true in
+      let lookup_t0 = Clock.now () in
       let analysis =
         Cache.find_or_compute t.cache ~key (fun () ->
-            Asim_analysis.Analysis.analyze spec)
+            hit := false;
+            Tracer.span tr ~args:job_attr "pipeline.analyze" (fun () ->
+                Asim_analysis.Analysis.analyze spec))
       in
+      Tracer.span_at tr
+        ~args:(("outcome", if !hit then "hit" else "miss") :: job_attr)
+        "batch.cache_lookup" ~ts:lookup_t0
+        ~dur:(if Tracer.is_active tr then Clock.now () -. lookup_t0 else 0.0);
       let config = { Asim.Machine.io; trace = trace_sink; faults = Asim.Fault.none } in
       let m =
-        Asim.machine ~config ~engine:job.Proto.engine ~optimize:job.Proto.optimize
-          analysis
+        Tracer.span tr ~args:job_attr "pipeline.build" (fun () ->
+            Asim.machine ~config ~engine:job.Proto.engine ~optimize:job.Proto.optimize
+              analysis)
       in
       let cycles =
         match job.Proto.cycles with
@@ -84,21 +108,25 @@ let run_job t (job : Proto.job) =
         | None -> Asim.Machine.spec_cycles m ~default:0
       in
       let status =
-        try
-          match job.Proto.timeout_s with
-          | None ->
-              Asim.Machine.run m ~cycles;
-              Proto.Ok_
-          | Some budget -> (
-              let deadline = t0 +. budget in
-              match
-                Asim.Machine.run_bounded m ~cycles
-                  ~should_stop:(fun () -> Unix.gettimeofday () > deadline)
-                  ()
-              with
-              | Asim.Machine.Completed -> Proto.Ok_
-              | Asim.Machine.Stopped done_ -> Proto.Timeout done_)
-        with Error.Error e -> Proto.Error_ (Error.to_string e)
+        Tracer.span tr
+          ~args:(("cycles", string_of_int cycles) :: job_attr)
+          "pipeline.simulate"
+          (fun () ->
+            try
+              match job.Proto.timeout_s with
+              | None ->
+                  Asim.Machine.run m ~cycles;
+                  Proto.Ok_
+              | Some budget -> (
+                  let deadline = t0 +. budget in
+                  match
+                    Asim.Machine.run_bounded m ~cycles
+                      ~should_stop:(fun () -> Clock.now () > deadline)
+                      ()
+                  with
+                  | Asim.Machine.Completed -> Proto.Ok_
+                  | Asim.Machine.Stopped done_ -> Proto.Timeout done_)
+            with Error.Error e -> Proto.Error_ (Error.to_string e))
       in
       {
         Proto.job;
@@ -116,7 +144,7 @@ let run_job t (job : Proto.job) =
           (if wanted Proto.Events then List.map Asim.Io.event_to_string (events ())
            else []);
         stats_json = (if wanted Proto.Stats then Some (stats_to_json m.Asim.Machine.stats) else None);
-        elapsed_s = Unix.gettimeofday () -. t0;
+        elapsed_s = Clock.now () -. t0;
       }
     with
     | Error.Error e ->
@@ -129,7 +157,7 @@ let run_job t (job : Proto.job) =
           trace = trace_lines ();
           events = [];
           stats_json = None;
-          elapsed_s = Unix.gettimeofday () -. t0;
+          elapsed_s = Clock.now () -. t0;
         }
     | Sys_error msg | Failure msg ->
         {
@@ -141,7 +169,7 @@ let run_job t (job : Proto.job) =
           trace = trace_lines ();
           events = [];
           stats_json = None;
-          elapsed_s = Unix.gettimeofday () -. t0;
+          elapsed_s = Clock.now () -. t0;
         }
   in
   Metrics.record t.metrics
@@ -149,6 +177,10 @@ let run_job t (job : Proto.job) =
     ~status:(Proto.status_class outcome.Proto.status)
     ~elapsed:outcome.Proto.elapsed_s;
   outcome
+
+let prometheus t =
+  Metrics.set_cache t.metrics (Cache.stats t.cache);
+  Asim_obs.Registry.to_prometheus (Metrics.registry t.metrics)
 
 (* --- the JSONL stream driver ------------------------------------------------ *)
 
@@ -165,7 +197,18 @@ let malformed_result t ~index ~lineno msg =
          ("error", Json.String (Printf.sprintf "line %d: %s" lineno msg));
        ])
 
+let metrics_result t ~index =
+  Json.to_string
+    (Json.Obj
+       [
+         ("index", Json.Int index);
+         ("control", Json.String "metrics");
+         ("status", Json.String "ok");
+         ("metrics", Json.String (prometheus t));
+       ])
+
 let process t ~jobs ~next ~emit =
+  let tr = t.tracer in
   let pool =
     Pool.create ~jobs
       ~on_crash:(fun index exn ->
@@ -177,7 +220,11 @@ let process t ~jobs ~next ~emit =
                ("status", Json.String "error");
                ("error", Json.String ("internal: " ^ Printexc.to_string exn));
              ]))
-      ~emit:(fun _index line -> emit line)
+      ~emit:(fun index line ->
+        Tracer.span tr
+          ~args:[ ("index", string_of_int index) ]
+          "batch.emit"
+          (fun () -> emit line))
   in
   let lineno = ref 0 in
   let rec pump () =
@@ -186,15 +233,27 @@ let process t ~jobs ~next ~emit =
     | Some line ->
         incr lineno;
         let lineno = !lineno in
-        if not (is_blank line) then
+        if not (is_blank line) then begin
+          let submitted = if Tracer.is_active tr then Clock.now () else 0.0 in
           Pool.submit pool (fun index ->
-              match Json.parse line with
-              | exception Json.Parse_error msg -> malformed_result t ~index ~lineno msg
-              | json -> (
-                  match Proto.job_of_json json with
-                  | Error msg -> malformed_result t ~index ~lineno msg
-                  | Ok job ->
-                      Json.to_string (Proto.result_to_json ~index (run_job t job))));
+              if Tracer.is_active tr then
+                Tracer.span_at tr
+                  ~args:[ ("index", string_of_int index) ]
+                  "batch.queue_wait" ~ts:submitted
+                  ~dur:(Clock.now () -. submitted);
+              Tracer.span tr
+                ~args:[ ("index", string_of_int index); ("line", string_of_int lineno) ]
+                "batch.worker_execute"
+                (fun () ->
+                  match Json.parse line with
+                  | exception Json.Parse_error msg -> malformed_result t ~index ~lineno msg
+                  | json -> (
+                      match Proto.request_of_json json with
+                      | Error msg -> malformed_result t ~index ~lineno msg
+                      | Ok Proto.Metrics -> metrics_result t ~index
+                      | Ok (Proto.Run job) ->
+                          Json.to_string (Proto.result_to_json ~index (run_job t job)))))
+        end;
         pump ()
   in
   pump ();

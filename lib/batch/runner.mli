@@ -6,8 +6,11 @@ type t
 (** A batch session: one compiled-spec cache plus one metrics accumulator,
     shared by every worker domain. *)
 
-val create : ?cache_capacity:int -> unit -> t
-(** [cache_capacity] defaults to 64 analyzed specs. *)
+val create : ?cache_capacity:int -> ?tracer:Asim_obs.Tracer.t -> unit -> t
+(** [cache_capacity] defaults to 64 analyzed specs.  [tracer] (default
+    {!Asim_obs.Tracer.null}) receives spans for batch internals — queue
+    wait, worker execute, cache lookup, emit — and for each pipeline stage
+    of every job (parse, analyze, build, simulate). *)
 
 val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> string
 (** The cache key: an MD5 content hash of the spec's canonical
@@ -15,19 +18,29 @@ val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> strin
     Canonicalizing first makes the key stable across formatting (any source
     that parses to the same spec shares an entry). *)
 
+val stats_to_json : Asim.Stats.t -> Json.t
+(** Machine statistics (cycles, per-memory access counters, total) as JSON
+    — shared by batch results and [asim run --stats-json]. *)
+
 val run_job : t -> Proto.job -> Proto.outcome
 (** Execute one job.  Never raises: spec resolution failures, runtime
     errors and deadline expiry all come back as structured statuses.
     Timeouts are cooperative — the deadline is polled between simulation
     cycles, so it cannot interrupt spec parsing or compilation. *)
 
+val prometheus : t -> string
+(** The session's live metrics (jobs, latencies, cache) in Prometheus text
+    exposition format.  Refreshes the cache gauges before rendering. *)
+
 val process : t -> jobs:int -> next:(unit -> string option) -> emit:(string -> unit) -> int
 (** Drive a JSONL stream: pull manifest lines from [next] until it returns
     [None], run them on a [jobs]-wide pool, and hand each rendered result
     line (no trailing newline) to [emit] in job order.  Blank lines are
     skipped; a malformed line yields an error result naming its 1-based
-    line number while the rest of the stream still runs.  Returns the
-    number of result lines emitted. *)
+    line number while the rest of the stream still runs.  A
+    [{"control":"metrics"}] line yields a result line carrying
+    {!prometheus} output instead of a simulation.  Returns the number of
+    result lines emitted. *)
 
 val summary : t -> wall_s:float -> Metrics.summary
 (** Metrics snapshot for the end-of-run report. *)

@@ -31,10 +31,10 @@ let compiler_available = function
   | Codegen.C -> command_exists "cc"
   | Codegen.Pascal | Codegen.Verilog -> false
 
-let timed f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+let timed tracer name f =
+  let t0 = Asim_obs.Clock.now () in
+  let v = Asim_obs.Tracer.span tracer name f in
+  (v, Asim_obs.Clock.now () -. t0)
 
 let fresh_dir () =
   let base = Filename.get_temp_dir_name () in
@@ -60,7 +60,8 @@ let read_file path =
   close_in ic;
   s
 
-let run ?dir ?cycles ~lang (analysis : Asim_analysis.Analysis.t) =
+let run ?dir ?cycles ?(tracer = Asim_obs.Tracer.null) ~lang
+    (analysis : Asim_analysis.Analysis.t) =
   if not (compiler_available lang) then
     Error
       (Printf.sprintf "no compiler available for %s in this environment"
@@ -69,14 +70,16 @@ let run ?dir ?cycles ~lang (analysis : Asim_analysis.Analysis.t) =
     let dir = match dir with Some d -> d | None -> fresh_dir () in
     let source_path = Filename.concat dir ("simulator" ^ Codegen.extension lang) in
     let binary_path = Filename.concat dir "simulator.exe" in
-    let source, generate_s = timed (fun () -> Codegen.generate lang analysis) in
+    let source, generate_s =
+      timed tracer "codegen.generate" (fun () -> Codegen.generate lang analysis)
+    in
     write_file source_path source;
     match compile_command lang ~source:source_path ~binary:binary_path with
     | None -> Error "language has no compile command"
     | Some cmd ->
         (* ocamlopt drops its artifacts in the cwd; run it from [dir]. *)
         let in_dir = Printf.sprintf "cd %s && %s" (Filename.quote dir) cmd in
-        let status, compile_s = timed (fun () -> Sys.command in_dir) in
+        let status, compile_s = timed tracer "codegen.compile" (fun () -> Sys.command in_dir) in
         if status <> 0 then
           Error (Printf.sprintf "compilation failed (%s, exit %d)" cmd status)
         else begin
@@ -93,7 +96,7 @@ let run ?dir ?cycles ~lang (analysis : Asim_analysis.Analysis.t) =
             Printf.sprintf "%s %d > %s 2>&1 < /dev/null" (Filename.quote binary_path)
               cycles (Filename.quote out_path)
           in
-          let status, run_s = timed (fun () -> Sys.command run_cmd) in
+          let status, run_s = timed tracer "codegen.execute" (fun () -> Sys.command run_cmd) in
           if status <> 0 then
             Error (Printf.sprintf "generated simulator failed (exit %d)" status)
           else

@@ -24,10 +24,13 @@ val compiler_available : Codegen.lang -> bool
 val run :
   ?dir:string ->
   ?cycles:int ->
+  ?tracer:Asim_obs.Tracer.t ->
   lang:Codegen.lang ->
   Asim_analysis.Analysis.t ->
   (result, string) Stdlib.result
 (** Generate the simulator for [lang], compile it in [dir] (default: a fresh
     directory under the system temp dir), execute it for [cycles] (default:
     the spec's [= N]) and capture stdout.  Returns [Error reason] when the
-    toolchain is unavailable or a stage fails. *)
+    toolchain is unavailable or a stage fails.  Stage wall-clock comes from
+    {!Asim_obs.Clock}; [tracer] (default null) additionally records
+    [codegen.generate] / [codegen.compile] / [codegen.execute] spans. *)

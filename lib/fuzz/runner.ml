@@ -84,15 +84,15 @@ type work_result = {
   w_failure : (failure * Asim_core.Spec.t) option;  (** failure and shrunk witness *)
 }
 
-let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
-    ?(shrink = true) ?(on_spec = fun _ _ -> ()) ?(log = fun _ -> ()) ?(jobs = 1)
-    ~seed ~count ~size () =
-  let t0 = Unix.gettimeofday () in
+let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
+    ?(engines = Oracle.all) ?(start = 0) ?(shrink = true) ?(on_spec = fun _ _ -> ())
+    ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count ~size () =
+  let t0 = Asim_obs.Clock.now () in
   let deadline = Option.map (fun b -> t0 +. b) time_budget in
   let tested = ref 0 in
   let reports = ref [] in
   let out_of_time () =
-    match deadline with None -> false | Some d -> Unix.gettimeofday () > d
+    match deadline with None -> false | Some d -> Asim_obs.Clock.now () > d
   in
   let check_spec index spec =
     if not (roundtrips spec) then Some Roundtrip_mismatch
@@ -117,8 +117,15 @@ let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
   let work index =
     if out_of_time () then { w_spec = None; w_failure = None }
     else begin
-      let spec = Gen.spec_at size ~seed ~index in
-      match check_spec index spec with
+      let attr = [ ("index", string_of_int index) ] in
+      let spec =
+        Asim_obs.Tracer.span tracer ~args:attr "fuzz.generate" (fun () ->
+            Gen.spec_at size ~seed ~index)
+      in
+      match
+        Asim_obs.Tracer.span tracer ~args:attr "fuzz.check" (fun () ->
+            check_spec index spec)
+      with
       | None -> { w_spec = Some spec; w_failure = None }
       | Some failure ->
           let keep =
@@ -126,7 +133,12 @@ let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
             | Divergence _ -> fun s -> Oracle.check ?feed ~engines s <> None
             | Roundtrip_mismatch -> fun s -> not (roundtrips s)
           in
-          let shrunk = if shrink then Shrink.spec ~keep spec else spec in
+          let shrunk =
+            if shrink then
+              Asim_obs.Tracer.span tracer ~args:attr "fuzz.shrink" (fun () ->
+                  Shrink.spec ~keep spec)
+            else spec
+          in
           (* Re-diagnose the shrunk spec so the report names the engine pair
              and cycle of the *minimized* witness. *)
           let failure =
@@ -195,7 +207,7 @@ let run ?artifacts_dir ?time_budget ?feed ?(engines = Oracle.all) ?(start = 0)
     Asim_batch.Pool.submit pool (fun pool_index -> work (start + pool_index))
   done;
   let _processed = Asim_batch.Pool.finish pool in
-  { tested = !tested; reports = List.rev !reports; elapsed = Unix.gettimeofday () -. t0 }
+  { tested = !tested; reports = List.rev !reports; elapsed = Asim_obs.Clock.now () -. t0 }
 
 let report_to_string r =
   Printf.sprintf "spec %d: %s (shrunk to %d components%s)" r.index

@@ -27,6 +27,7 @@ type outcome = {
 val run :
   ?artifacts_dir:string ->
   ?time_budget:float ->
+  ?tracer:Asim_obs.Tracer.t ->
   ?feed:int list ->
   ?engines:Oracle.engine list ->
   ?start:int ->
@@ -45,6 +46,11 @@ val run :
     receives human-readable progress lines.  Bundles are only written when
     [artifacts_dir] is given; [shrink:false] skips minimization (bundles
     then contain the original spec twice).
+
+    Wall-clock (the [time_budget] deadline and [elapsed]) comes from
+    {!Asim_obs.Clock}, so campaigns are deterministic under a mock clock;
+    [tracer] (default null) records [fuzz.generate] / [fuzz.check] /
+    [fuzz.shrink] spans per index.
 
     [jobs] (default 1) spreads campaign indices across that many worker
     domains via {!Asim_batch.Pool}.  Generation, checking and shrinking are

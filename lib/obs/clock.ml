@@ -1,0 +1,30 @@
+let default = Unix.gettimeofday
+
+let source = Atomic.make default
+
+let now () = (Atomic.get source) ()
+
+let elapsed t0 = now () -. t0
+
+let set_source f = Atomic.set source f
+
+let reset () = Atomic.set source default
+
+let with_source f body =
+  set_source f;
+  Fun.protect ~finally:reset body
+
+type manual = { mutex : Mutex.t; mutable t : float }
+
+let manual ?(start = 0.0) () = { mutex = Mutex.create (); t = start }
+
+let manual_source m () =
+  Mutex.lock m.mutex;
+  let t = m.t in
+  Mutex.unlock m.mutex;
+  t
+
+let advance m dt =
+  Mutex.lock m.mutex;
+  m.t <- m.t +. dt;
+  Mutex.unlock m.mutex

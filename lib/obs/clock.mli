@@ -1,0 +1,39 @@
+(** The one clock every subsystem reads.
+
+    All wall-clock decisions — span timestamps, per-job [elapsed_s] fields,
+    fuzz campaign deadlines, batch throughput numbers — go through
+    {!now}, so a test can override the time source once and every layer
+    becomes deterministic.  The default source is [Unix.gettimeofday].
+
+    The override is process-global and atomic; workers on other domains
+    observe it immediately. *)
+
+val now : unit -> float
+(** Seconds since the epoch, per the current source. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)
+
+val set_source : (unit -> float) -> unit
+(** Replace the time source (tests, replay). *)
+
+val reset : unit -> unit
+(** Restore [Unix.gettimeofday]. *)
+
+val with_source : (unit -> float) -> (unit -> 'a) -> 'a
+(** Run a thunk under a temporary source; always restores the default
+    afterwards (also on exceptions). *)
+
+(** {2 Manual clocks for tests} *)
+
+type manual
+(** A hand-cranked clock: time only moves when the test says so. *)
+
+val manual : ?start:float -> unit -> manual
+(** A manual clock reading [start] (default 0). *)
+
+val manual_source : manual -> unit -> float
+(** The closure to hand to {!set_source} / {!with_source}. *)
+
+val advance : manual -> float -> unit
+(** Move a manual clock forward by the given seconds. *)

@@ -1,0 +1,239 @@
+type counter = { c_mutex : Mutex.t; mutable c_value : float }
+
+type gauge = { g_mutex : Mutex.t; mutable g_value : float }
+
+type histogram = {
+  h_mutex : Mutex.t;
+  bounds : float array;  (** strictly increasing upper bounds *)
+  buckets : int array;  (** length = |bounds| + 1; last is the overflow bucket *)
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type family = {
+  kind : [ `Counter | `Gauge | `Histogram ];
+  help : string;
+  mutable series : ((string * string) list * instrument) list;
+}
+
+type t = {
+  mutex : Mutex.t;
+  families : (string, family) Hashtbl.t;
+}
+
+let create () = { mutex = Mutex.create (); families = Hashtbl.create 16 }
+
+let default = create ()
+
+let log_buckets ~lo ~hi ~factor =
+  if not (lo > 0.0 && hi > lo && factor > 1.0) then
+    invalid_arg "Registry.log_buckets: need 0 < lo < hi and factor > 1";
+  let rec go acc b = if b >= hi then List.rev (b :: acc) else go (b :: acc) (b *. factor) in
+  Array.of_list (go [] lo)
+
+let default_buckets = log_buckets ~lo:1e-6 ~hi:128.0 ~factor:2.0
+
+let kind_name = function
+  | `Counter -> "counter"
+  | `Gauge -> "gauge"
+  | `Histogram -> "histogram"
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* Find or create the (name, labels) series, enforcing kind consistency. *)
+let register t ~kind ~help ~labels name make =
+  let labels = normalize_labels labels in
+  Mutex.lock t.mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.mutex)
+    (fun () ->
+      let family =
+        match Hashtbl.find_opt t.families name with
+        | Some f ->
+            if f.kind <> kind then
+              invalid_arg
+                (Printf.sprintf "Registry: %s already registered as a %s, not a %s" name
+                   (kind_name f.kind) (kind_name kind));
+            f
+        | None ->
+            let f = { kind; help; series = [] } in
+            Hashtbl.replace t.families name f;
+            f
+      in
+      match List.assoc_opt labels family.series with
+      | Some i -> i
+      | None ->
+          let i = make () in
+          family.series <- family.series @ [ (labels, i) ];
+          i)
+
+let counter t ?(help = "") ?(labels = []) name =
+  match
+    register t ~kind:`Counter ~help ~labels name (fun () ->
+        Counter { c_mutex = Mutex.create (); c_value = 0.0 })
+  with
+  | Counter c -> c
+  | _ -> assert false
+
+let gauge t ?(help = "") ?(labels = []) name =
+  match
+    register t ~kind:`Gauge ~help ~labels name (fun () ->
+        Gauge { g_mutex = Mutex.create (); g_value = 0.0 })
+  with
+  | Gauge g -> g
+  | _ -> assert false
+
+let histogram t ?(help = "") ?(labels = []) ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && not (b > buckets.(i - 1)) then
+        invalid_arg "Registry.histogram: bucket bounds must be strictly increasing")
+    buckets;
+  match
+    register t ~kind:`Histogram ~help ~labels name (fun () ->
+        Histogram
+          {
+            h_mutex = Mutex.create ();
+            bounds = buckets;
+            buckets = Array.make (Array.length buckets + 1) 0;
+            h_count = 0;
+            h_sum = 0.0;
+            h_min = infinity;
+            h_max = neg_infinity;
+          })
+  with
+  | Histogram h -> h
+  | _ -> assert false
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let add c amount =
+  if amount > 0.0 then locked c.c_mutex (fun () -> c.c_value <- c.c_value +. amount)
+
+let inc c = add c 1.0
+
+let counter_value c = locked c.c_mutex (fun () -> c.c_value)
+
+let set g v = locked g.g_mutex (fun () -> g.g_value <- v)
+
+let gauge_add g v = locked g.g_mutex (fun () -> g.g_value <- g.g_value +. v)
+
+let gauge_value g = locked g.g_mutex (fun () -> g.g_value)
+
+let bucket_index bounds v =
+  (* First bound >= v, else the overflow bucket. *)
+  let n = Array.length bounds in
+  let rec go i = if i >= n then n else if v <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  locked h.h_mutex (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_index h.bounds v in
+      h.buckets.(i) <- h.buckets.(i) + 1)
+
+let hist_count h = locked h.h_mutex (fun () -> h.h_count)
+
+let hist_sum h = locked h.h_mutex (fun () -> h.h_sum)
+
+let hist_max h = locked h.h_mutex (fun () -> if h.h_count = 0 then 0.0 else h.h_max)
+
+let quantile h q =
+  locked h.h_mutex (fun () ->
+      if h.h_count = 0 then 0.0
+      else begin
+        let target = max 1 (int_of_float (ceil (q *. float_of_int h.h_count))) in
+        let target = min target h.h_count in
+        let n = Array.length h.bounds in
+        let rec go i cum =
+          let cum = cum + h.buckets.(i) in
+          if cum >= target || i >= n then i else go (i + 1) cum
+        in
+        let i = go 0 0 in
+        let upper = if i >= n then h.h_max else h.bounds.(i) in
+        (* The bucket bound over-approximates; the exact extrema bound it. *)
+        Float.max h.h_min (Float.min upper h.h_max)
+      end)
+
+(* --- Prometheus text exposition -------------------------------------------- *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels)
+      ^ "}"
+
+let render_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus t =
+  Mutex.lock t.mutex;
+  let families =
+    Hashtbl.fold (fun name f acc -> (name, f) :: acc) t.families []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  Mutex.unlock t.mutex;
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  List.iter
+    (fun (name, f) ->
+      if f.help <> "" then line "# HELP %s %s" name f.help;
+      line "# TYPE %s %s" name (kind_name f.kind);
+      let series =
+        List.sort
+          (fun (la, _) (lb, _) -> compare (render_labels la) (render_labels lb))
+          f.series
+      in
+      List.iter
+        (fun (labels, instrument) ->
+          match instrument with
+          | Counter c -> line "%s%s %s" name (render_labels labels) (render_float (counter_value c))
+          | Gauge g -> line "%s%s %s" name (render_labels labels) (render_float (gauge_value g))
+          | Histogram h ->
+              let bounds, buckets, count, sum =
+                locked h.h_mutex (fun () ->
+                    (h.bounds, Array.copy h.buckets, h.h_count, h.h_sum))
+              in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i b ->
+                  cum := !cum + buckets.(i);
+                  line "%s_bucket%s %d" name
+                    (render_labels (labels @ [ ("le", Printf.sprintf "%g" b) ]))
+                    !cum)
+                bounds;
+              line "%s_bucket%s %d" name (render_labels (labels @ [ ("le", "+Inf") ])) count;
+              line "%s_sum%s %s" name (render_labels labels) (render_float sum);
+              line "%s_count%s %d" name (render_labels labels) count)
+        series)
+    families;
+  Buffer.contents buf

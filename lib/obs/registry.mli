@@ -1,0 +1,76 @@
+(** A thread-safe registry of named metrics — counters, gauges and
+    log-scale histograms — with a Prometheus text-format exporter.
+
+    Metrics are identified by (name, labels); registering the same
+    identity twice returns the existing instrument, so any code path can
+    say [Registry.counter reg "asim_jobs_total"] without coordinating who
+    created it first.  All instruments may be updated from any domain.
+
+    Naming follows the Prometheus conventions documented in
+    docs/observability.md: [asim_] prefix, snake_case, base units in the
+    name ([_seconds], [_bytes]), counters ending in [_total]. *)
+
+type t
+
+val create : unit -> t
+
+val default : t
+(** A process-global registry for code without an obvious owner. *)
+
+(** {2 Instruments} *)
+
+type counter
+type gauge
+type histogram
+
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Monotonically increasing value.  Raises [Invalid_argument] if the name
+    is already registered as a different kind. *)
+
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?buckets:float array ->
+  string ->
+  histogram
+(** Distribution sketch over fixed bucket upper bounds (default:
+    {!log_buckets} from 1 µs to ~128 s, factor 2 — latency-shaped).
+    [buckets] must be strictly increasing. *)
+
+val log_buckets : lo:float -> hi:float -> factor:float -> float array
+(** Upper bounds [lo, lo*factor, …] up to and including the first bound
+    >= [hi].  [factor] must exceed 1. *)
+
+val inc : counter -> unit
+val add : counter -> float -> unit
+(** [add] ignores negative amounts (counters are monotonic). *)
+
+val counter_value : counter -> float
+
+val set : gauge -> float -> unit
+val gauge_add : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val observe : histogram -> float -> unit
+
+val hist_count : histogram -> int
+val hist_sum : histogram -> float
+val hist_max : histogram -> float
+(** 0 when empty. *)
+
+val quantile : histogram -> float -> float
+(** [quantile h q] for [q] in [0,1]: the upper bound of the bucket holding
+    the nearest-rank sample, clamped to the exact observed min/max (so a
+    single-sample histogram answers that sample for every [q], and [q=1]
+    is always the exact max).  0 when empty. *)
+
+(** {2 Export} *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format, families sorted by name, series
+    sorted by labels — deterministic for a given registry state.
+    Histograms render cumulative [_bucket{le=…}] series plus [_sum] and
+    [_count]. *)

@@ -1,0 +1,119 @@
+type event = {
+  name : string;
+  ts_us : float;
+  dur_us : float;
+  tid : int;
+  args : (string * string) list;
+}
+
+type active = { mutex : Mutex.t; mutable events : event list; mutable count : int }
+
+type t =
+  | Null
+  | Active of active
+
+let null = Null
+
+let create () = Active { mutex = Mutex.create (); events = []; count = 0 }
+
+let is_active = function Null -> false | Active _ -> true
+
+let record a ev =
+  Mutex.lock a.mutex;
+  a.events <- ev :: a.events;
+  a.count <- a.count + 1;
+  Mutex.unlock a.mutex
+
+let domain_id () = (Domain.self () :> int)
+
+let span t ?(args = []) name f =
+  match t with
+  | Null -> f ()
+  | Active a ->
+      let t0 = Clock.now () in
+      Fun.protect
+        ~finally:(fun () ->
+          let t1 = Clock.now () in
+          record a
+            {
+              name;
+              ts_us = t0 *. 1e6;
+              dur_us = (t1 -. t0) *. 1e6;
+              tid = domain_id ();
+              args;
+            })
+        f
+
+let span_at t ?(args = []) name ~ts ~dur =
+  match t with
+  | Null -> ()
+  | Active a ->
+      record a
+        { name; ts_us = ts *. 1e6; dur_us = dur *. 1e6; tid = domain_id (); args }
+
+let events = function
+  | Null -> []
+  | Active a ->
+      Mutex.lock a.mutex;
+      let evs = List.rev a.events in
+      Mutex.unlock a.mutex;
+      evs
+
+let event_count = function
+  | Null -> 0
+  | Active a ->
+      Mutex.lock a.mutex;
+      let n = a.count in
+      Mutex.unlock a.mutex;
+      n
+
+(* Self-contained JSON string escaping: the obs layer sits below the batch
+   protocol, so it cannot borrow that codec. *)
+let escape_json buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let to_chrome_json t =
+  let pid = Unix.getpid () in
+  let buf = Buffer.create 4096 in
+  Buffer.add_char buf '[';
+  List.iteri
+    (fun i ev ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "{\"name\":";
+      escape_json buf ev.name;
+      Buffer.add_string buf ",\"cat\":\"asim\",\"ph\":\"X\"";
+      Buffer.add_string buf (Printf.sprintf ",\"ts\":%.3f,\"dur\":%.3f" ev.ts_us ev.dur_us);
+      Buffer.add_string buf (Printf.sprintf ",\"pid\":%d,\"tid\":%d" pid ev.tid);
+      if ev.args <> [] then begin
+        Buffer.add_string buf ",\"args\":{";
+        List.iteri
+          (fun j (k, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            escape_json buf k;
+            Buffer.add_char buf ':';
+            escape_json buf v)
+          ev.args;
+        Buffer.add_char buf '}'
+      end;
+      Buffer.add_char buf '}')
+    (events t);
+  Buffer.add_string buf "]\n";
+  Buffer.contents buf
+
+let write t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_json t))

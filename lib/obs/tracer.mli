@@ -1,0 +1,55 @@
+(** Span-based tracing with Chrome trace-event JSON export.
+
+    A tracer collects timed spans — named intervals with optional string
+    attributes — from any domain.  {!to_chrome_json} renders them as a
+    JSON array of complete ([ph:"X"]) trace events with microsecond
+    [ts]/[dur], loadable directly in Perfetto (https://ui.perfetto.dev) or
+    chrome://tracing.  Spans on different domains land on different track
+    ids ([tid]), so pipeline stages and worker-pool activity lay out as
+    parallel tracks.
+
+    The {!null} tracer is free: [span null name f] is just [f ()] — no
+    clock reads, no allocation — so instrumented code paths cost nothing
+    unless a [--trace-out] flag switched tracing on.
+
+    Timestamps come from {!Clock.now}, so traces are deterministic under a
+    mock clock. *)
+
+type t
+
+type event = {
+  name : string;
+  ts_us : float;  (** span start, microseconds *)
+  dur_us : float;
+  tid : int;  (** domain id *)
+  args : (string * string) list;
+}
+
+val null : t
+(** The disabled tracer. *)
+
+val create : unit -> t
+
+val is_active : t -> bool
+
+val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a timed span.  The span is recorded even when the
+    thunk raises.  Nested calls nest naturally in the viewer (enclosing
+    time ranges on the same track). *)
+
+val span_at : t -> ?args:(string * string) list -> string -> ts:float -> dur:float -> unit
+(** Record a span from explicit wall-clock endpoints ([ts] start seconds,
+    [dur] seconds) — for intervals that cannot wrap a closure, like the
+    queue wait between job submission and worker pickup. *)
+
+val events : t -> event list
+(** Recorded events, oldest first.  Empty for {!null}. *)
+
+val event_count : t -> int
+
+val to_chrome_json : t -> string
+(** The JSON array of trace events ([{"name":…,"ph":"X","ts":…,"dur":…,
+    "pid":…,"tid":…,"args":{…}}]). *)
+
+val write : t -> string -> unit
+(** Write {!to_chrome_json} to a file. *)

@@ -304,6 +304,84 @@ let test_process_byte_identical_across_jobs () =
   Alcotest.(check (list string)) "jobs=2 byte-identical" sequential (run 2);
   Alcotest.(check (list string)) "jobs=4 byte-identical" sequential (run 4)
 
+(* --- Metrics ---------------------------------------------------------------- *)
+
+let feq = Alcotest.(check (float 1e-9))
+
+let test_percentile_edge_cases () =
+  (* 0 samples: every rank answers 0. *)
+  feq "empty p50" 0.0 (Metrics.percentile [||] 50.0);
+  feq "empty p99" 0.0 (Metrics.percentile [||] 99.0);
+  (* 1 sample: every rank answers that sample. *)
+  let one = [| 7.5 |] in
+  List.iter
+    (fun p -> feq (Printf.sprintf "single sample p%g" p) 7.5 (Metrics.percentile one p))
+    [ 0.0; 50.0; 90.0; 99.0; 100.0 ];
+  (* p99 with n < 100: the nearest rank is the last element, never out of
+     bounds, and p50 is the conventional middle. *)
+  let ten = Array.init 10 (fun i -> float_of_int (i + 1)) in
+  feq "p99 of 10 is the max" 10.0 (Metrics.percentile ten 99.0);
+  feq "p90 of 10" 9.0 (Metrics.percentile ten 90.0);
+  feq "p50 of 10" 5.0 (Metrics.percentile ten 50.0)
+
+let test_summary_zero_wall () =
+  (* A frozen clock (or an instantaneous run) gives wall_s = 0; throughput
+     must come back 0, not inf or nan. *)
+  let m = Metrics.create () in
+  Metrics.record m ~engine:"compiled" ~status:`Ok ~elapsed:0.0;
+  let cache = Cache.stats (Cache.create ~capacity:4 : unit Cache.t) in
+  let s = Metrics.summarize m ~cache ~wall_s:0.0 in
+  Alcotest.(check int) "one job" 1 s.Metrics.jobs;
+  feq "zero throughput, finite" 0.0 s.Metrics.jobs_per_sec;
+  Alcotest.(check bool) "finite in JSON too" true
+    (Float.is_finite s.Metrics.jobs_per_sec);
+  let s' = Metrics.summarize m ~cache ~wall_s:(-1.0) in
+  feq "negative wall also 0" 0.0 s'.Metrics.jobs_per_sec
+
+let test_summary_latencies () =
+  let m = Metrics.create () in
+  List.iter
+    (fun e -> Metrics.record m ~engine:"compiled" ~status:`Ok ~elapsed:e)
+    [ 0.010; 0.020; 0.030 ];
+  Metrics.record m ~engine:"interp" ~status:`Error ~elapsed:0.5;
+  Metrics.record m ~engine:"interp" ~status:`Timeout ~elapsed:1.0;
+  let cache = Cache.stats (Cache.create ~capacity:4 : unit Cache.t) in
+  let s = Metrics.summarize m ~cache ~wall_s:2.0 in
+  Alcotest.(check int) "jobs" 5 s.Metrics.jobs;
+  Alcotest.(check int) "ok" 3 s.Metrics.ok;
+  Alcotest.(check int) "errors" 1 s.Metrics.errors;
+  Alcotest.(check int) "timeouts" 1 s.Metrics.timeouts;
+  feq "throughput" 2.5 s.Metrics.jobs_per_sec;
+  match s.Metrics.latencies with
+  | [ a; b ] ->
+      (* sorted by engine name *)
+      Alcotest.(check string) "first engine" "compiled" a.Metrics.engine;
+      Alcotest.(check int) "compiled count" 3 a.Metrics.count;
+      feq "compiled p50 ms" 20.0 a.Metrics.p50_ms;
+      feq "compiled max ms" 30.0 a.Metrics.max_ms;
+      Alcotest.(check string) "second engine" "interp" b.Metrics.engine;
+      feq "interp p99 ms (n<100)" 1000.0 b.Metrics.p99_ms
+  | l -> Alcotest.failf "expected 2 engines, got %d" (List.length l)
+
+let test_metrics_prometheus_names () =
+  (* The live registry view follows the documented naming conventions. *)
+  let m = Metrics.create () in
+  Metrics.record m ~engine:"compiled" ~status:`Ok ~elapsed:0.004;
+  let cache = Cache.stats (Cache.create ~capacity:4 : unit Cache.t) in
+  Metrics.set_cache m cache;
+  let text = Asim_obs.Registry.to_prometheus (Metrics.registry m) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exports " ^ needle) true (contains text needle))
+    [
+      {|asim_jobs_total{status="ok"} 1|};
+      "# TYPE asim_jobs_total counter";
+      "# TYPE asim_job_duration_seconds histogram";
+      {|asim_job_duration_seconds_count{engine="compiled"} 1|};
+      "asim_cache_capacity 4";
+      "# TYPE asim_cache_hits gauge";
+    ]
+
 let test_process_cache_hit_rate () =
   (* 64 identical jobs: 1 miss, 63 hits — the >90% acceptance bar. *)
   let t = Runner.create () in
@@ -347,5 +425,12 @@ let () =
           Alcotest.test_case "byte-identical across jobs" `Quick
             test_process_byte_identical_across_jobs;
           Alcotest.test_case "cache hit rate" `Quick test_process_cache_hit_rate;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "percentile edge cases" `Quick test_percentile_edge_cases;
+          Alcotest.test_case "zero wall clock" `Quick test_summary_zero_wall;
+          Alcotest.test_case "latency summary" `Quick test_summary_latencies;
+          Alcotest.test_case "prometheus names" `Quick test_metrics_prometheus_names;
         ] );
     ]

@@ -366,6 +366,165 @@ let test_fuzz_jobs_deterministic () =
   Alcotest.(check (list string)) "identical divergence reports" (strip bug_seq)
     (strip bug_par)
 
+(* --- observability flags ---------------------------------------------------- *)
+
+let in_temp suffix f =
+  let path = Filename.temp_file "asim-cli" suffix in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Parse a Chrome trace file and return its events, checking the envelope
+   every event must carry (complete spans with microsecond ts/dur on a
+   pid/tid track). *)
+let trace_events path =
+  let json = Asim_batch.Json.parse (read_file path) in
+  let events =
+    match Asim_batch.Json.to_list json with
+    | Some evs -> evs
+    | None -> Alcotest.failf "%s: trace is not a JSON array" path
+  in
+  List.iter
+    (fun ev ->
+      let field name = Asim_batch.Json.member name ev in
+      (match Option.bind (field "ph") Asim_batch.Json.to_string_opt with
+      | Some ("X" | "B" | "E") -> ()
+      | _ -> Alcotest.failf "%s: event without a span phase" path);
+      List.iter
+        (fun name ->
+          if Option.bind (field name) Asim_batch.Json.to_float = None then
+            Alcotest.failf "%s: event missing %s" path name)
+        [ "ts"; "dur"; "pid"; "tid" ])
+    events;
+  events
+
+let span_names events =
+  List.filter_map
+    (fun ev ->
+      Option.bind (Asim_batch.Json.member "name" ev) Asim_batch.Json.to_string_opt)
+    events
+
+let check_spans label events needed =
+  let names = span_names events in
+  List.iter
+    (fun span ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s has %s" label span)
+        true
+        (List.mem span names))
+    needed
+
+let test_run_trace_and_stats_json () =
+  with_spec counter (fun spec ->
+      in_temp ".trace" (fun trace ->
+          in_temp ".stats" (fun stats ->
+              let code, text =
+                run_cli
+                  (Printf.sprintf "run %s -q -n 2500 --trace-out %s --stats-json %s"
+                     (Filename.quote spec) (Filename.quote trace) (Filename.quote stats))
+              in
+              if code <> 0 then Alcotest.failf "run failed: %s" text;
+              check_spans "run trace" (trace_events trace)
+                [ "pipeline.parse"; "pipeline.analyze"; "pipeline.build"; "pipeline.simulate" ];
+              let j = Asim_batch.Json.parse (read_file stats) in
+              Alcotest.(check (option int)) "cycle count"
+                (Some 2500)
+                (Option.bind (Asim_batch.Json.member "cycles" j) Asim_batch.Json.to_int);
+              (match Asim_batch.Json.member "stats" j with
+              | Some s ->
+                  Alcotest.(check bool) "per-memory stats" true
+                    (Asim_batch.Json.member "memories" s <> None)
+              | None -> Alcotest.fail "missing stats object");
+              match Asim_batch.Json.member "timings" j with
+              | Some t ->
+                  List.iter
+                    (fun stage ->
+                      match
+                        Option.bind (Asim_batch.Json.member stage t) Asim_batch.Json.to_float
+                      with
+                      | Some s when s >= 0.0 -> ()
+                      | _ -> Alcotest.failf "bad timing %s" stage)
+                    [ "parse_s"; "analyze_s"; "build_s"; "run_s" ]
+              | None -> Alcotest.fail "missing timings object")))
+
+let test_batch_trace () =
+  with_manifest (fun manifest ->
+      in_temp ".trace" (fun trace ->
+          let code, _ =
+            run_cli
+              (Printf.sprintf "batch %s --jobs 2 --no-metrics -o /dev/null --trace-out %s"
+                 (Filename.quote manifest) (Filename.quote trace))
+          in
+          (* the manifest's malformed line makes the run exit 1; the trace
+             must still be written *)
+          Alcotest.(check int) "manifest exit" 1 code;
+          let events = trace_events trace in
+          check_spans "batch trace" events
+            [
+              "batch.cache_lookup"; "batch.queue_wait"; "batch.worker_execute";
+              "batch.emit"; "pipeline.parse"; "pipeline.build"; "pipeline.simulate";
+            ];
+          (* cache-lookup spans carry their outcome; this manifest runs the
+             counter example 3 times -> 1 miss then hits *)
+          let outcomes =
+            List.filter_map
+              (fun ev ->
+                match
+                  Option.bind (Asim_batch.Json.member "name" ev)
+                    Asim_batch.Json.to_string_opt
+                with
+                | Some "batch.cache_lookup" ->
+                    Option.bind (Asim_batch.Json.member "args" ev) (fun args ->
+                        Option.bind
+                          (Asim_batch.Json.member "outcome" args)
+                          Asim_batch.Json.to_string_opt)
+                | _ -> None)
+              events
+          in
+          Alcotest.(check bool) "records a miss" true (List.mem "miss" outcomes);
+          Alcotest.(check bool) "records hits" true (List.mem "hit" outcomes)))
+
+let test_fuzz_trace () =
+  in_temp ".trace" (fun trace ->
+      let code, text =
+        run_cli (Printf.sprintf "fuzz --count 5 -q --trace-out %s" (Filename.quote trace))
+      in
+      if code <> 0 then Alcotest.failf "fuzz failed: %s" text;
+      check_spans "fuzz trace" (trace_events trace) [ "fuzz.generate"; "fuzz.check" ])
+
+let test_serve_metrics_request () =
+  let code, text =
+    run_cli
+      ~stdin_text:{|{"example":"counter"}
+{"control":"metrics"}
+|}
+      "serve --no-metrics"
+  in
+  Alcotest.(check int) "clean session" 0 code;
+  let metrics_line =
+    String.split_on_char '\n' text
+    |> List.find_opt (fun l -> contains l {|"control":"metrics"|})
+  in
+  match metrics_line with
+  | None -> Alcotest.failf "no metrics result line in:\n%s" text
+  | Some line -> (
+      let j = Asim_batch.Json.parse line in
+      Alcotest.(check (option string)) "status"
+        (Some "ok")
+        (Option.bind (Asim_batch.Json.member "status" j) Asim_batch.Json.to_string_opt);
+      match Option.bind (Asim_batch.Json.member "metrics" j) Asim_batch.Json.to_string_opt with
+      | None -> Alcotest.fail "missing metrics text"
+      | Some prom ->
+          List.iter
+            (fun needle ->
+              Alcotest.(check bool) ("prometheus has " ^ needle) true (contains prom needle))
+            [
+              "# TYPE asim_jobs_total counter";
+              {|asim_jobs_total{status="ok"} 1|};
+              "# TYPE asim_job_duration_seconds histogram";
+              "asim_cache_capacity 64";
+            ])
+
 let test_errors () =
   let code, _ = run_cli "run /nonexistent/file.asim" in
   Alcotest.(check bool) "missing file fails" true (code <> 0);
@@ -409,6 +568,11 @@ let () =
             test_batch_jobs_byte_identical;
           Alcotest.test_case "batch missing manifest" `Quick test_batch_missing_manifest;
           Alcotest.test_case "serve stdin" `Quick test_serve_stdin;
+          Alcotest.test_case "run trace + stats json" `Quick
+            test_run_trace_and_stats_json;
+          Alcotest.test_case "batch trace" `Quick test_batch_trace;
+          Alcotest.test_case "fuzz trace" `Quick test_fuzz_trace;
+          Alcotest.test_case "serve metrics request" `Quick test_serve_metrics_request;
           Alcotest.test_case "errors" `Quick test_errors;
         ] );
     ]

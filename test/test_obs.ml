@@ -1,0 +1,249 @@
+(* The observability core: mockable clock, metrics registry, span tracer —
+   and the determinism the mock clock buys in the layers built on top. *)
+
+open Asim_obs
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* --- clock ----------------------------------------------------------------- *)
+
+let test_clock_manual () =
+  let c = Clock.manual ~start:100.0 () in
+  Clock.with_source (Clock.manual_source c) (fun () ->
+      feq "frozen now" 100.0 (Clock.now ());
+      feq "frozen elapsed" 0.0 (Clock.elapsed (Clock.now ()));
+      Clock.advance c 2.5;
+      feq "advanced" 102.5 (Clock.now ());
+      feq "elapsed since start" 2.5 (Clock.elapsed 100.0))
+
+let test_clock_restores () =
+  let c = Clock.manual ~start:7.0 () in
+  (try
+     Clock.with_source (Clock.manual_source c) (fun () -> failwith "boom")
+   with Failure _ -> ());
+  (* Back on the real clock: two reads straddle real time, not 7.0. *)
+  Alcotest.(check bool) "real clock restored" true (Clock.now () > 1e9)
+
+let test_clock_set_reset () =
+  Clock.set_source (fun () -> 42.0);
+  feq "overridden" 42.0 (Clock.now ());
+  Clock.reset ();
+  Alcotest.(check bool) "reset to real time" true (Clock.now () > 1e9)
+
+(* A frozen clock makes a deadline-driven fuzz campaign fully deterministic:
+   with the budget already exhausted, every index is skipped and the elapsed
+   time is exactly zero — on every run, on every machine. *)
+let test_fuzz_deterministic_under_mock_clock () =
+  let c = Clock.manual ~start:1000.0 () in
+  Clock.with_source (Clock.manual_source c) (fun () ->
+      let size = { Asim_fuzz.Gen.max_comb = 3; max_mem = 1; cycles = 5; wide = false } in
+      let outcome =
+        Asim_fuzz.Runner.run ~time_budget:(-1.0) ~seed:0 ~count:10 ~size ()
+      in
+      Alcotest.(check int) "no spec started" 0 outcome.Asim_fuzz.Runner.tested;
+      feq "elapsed exactly zero" 0.0 outcome.Asim_fuzz.Runner.elapsed;
+      (* and with time, the same clock still never advances mid-campaign *)
+      Clock.advance c 50.0;
+      let outcome2 =
+        Asim_fuzz.Runner.run ~seed:0 ~count:3 ~size ()
+      in
+      Alcotest.(check int) "all specs tested" 3 outcome2.Asim_fuzz.Runner.tested;
+      feq "frozen campaign elapsed" 0.0 outcome2.Asim_fuzz.Runner.elapsed)
+
+let counter_spec = "# counter\n= 4\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n"
+
+let test_batch_job_deterministic_under_mock_clock () =
+  let c = Clock.manual ~start:500.0 () in
+  Clock.with_source (Clock.manual_source c) (fun () ->
+      let t = Asim_batch.Runner.create () in
+      let job =
+        {
+          Asim_batch.Proto.id = Some "frozen";
+          source = Asim_batch.Proto.Inline counter_spec;
+          engine = Asim.Compiled;
+          optimize = true;
+          cycles = None;
+          inputs = [];
+          want = [ Asim_batch.Proto.Outputs ];
+          timeout_s = Some 10.0;
+        }
+      in
+      let outcome = Asim_batch.Runner.run_job t job in
+      (match outcome.Asim_batch.Proto.status with
+      | Asim_batch.Proto.Ok_ -> ()
+      | Asim_batch.Proto.Error_ e -> Alcotest.failf "job errored: %s" e
+      | Asim_batch.Proto.Timeout c -> Alcotest.failf "job timed out at cycle %d" c);
+      feq "elapsed_s exactly zero" 0.0 outcome.Asim_batch.Proto.elapsed_s)
+
+(* --- registry -------------------------------------------------------------- *)
+
+let test_counter () =
+  let reg = Registry.create () in
+  let jobs = Registry.counter reg "asim_test_total" ~help:"h" in
+  Registry.inc jobs;
+  Registry.add jobs 2.5;
+  Registry.add jobs (-10.0);
+  feq "monotonic" 3.5 (Registry.counter_value jobs);
+  (* same identity -> same instrument *)
+  let again = Registry.counter reg "asim_test_total" in
+  Registry.inc again;
+  feq "shared series" 4.5 (Registry.counter_value jobs)
+
+let test_kind_clash () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "asim_clash" : Registry.counter);
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Registry: asim_clash already registered as a counter, not a gauge")
+    (fun () -> ignore (Registry.gauge reg "asim_clash" : Registry.gauge))
+
+let test_gauge () =
+  let reg = Registry.create () in
+  let g = Registry.gauge reg "asim_depth" ~labels:[ ("pool", "a") ] in
+  Registry.set g 5.0;
+  Registry.gauge_add g (-2.0);
+  feq "gauge value" 3.0 (Registry.gauge_value g)
+
+let test_histogram_quantiles () =
+  let reg = Registry.create () in
+  let empty = Registry.histogram reg "asim_empty_seconds" in
+  feq "empty p50" 0.0 (Registry.quantile empty 0.5);
+  feq "empty max" 0.0 (Registry.hist_max empty);
+  Alcotest.(check int) "empty count" 0 (Registry.hist_count empty);
+  let one = Registry.histogram reg "asim_one_seconds" in
+  Registry.observe one 0.037;
+  List.iter
+    (fun q -> feq (Printf.sprintf "single sample at q=%g" q) 0.037 (Registry.quantile one q))
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ];
+  let many = Registry.histogram reg "asim_many_seconds" in
+  for i = 1 to 100 do
+    Registry.observe many (0.001 *. float_of_int i)
+  done;
+  feq "q=1 is the exact max" 0.1 (Registry.quantile many 1.0);
+  Alcotest.(check bool) "p50 in a sane bucket" true
+    (let p50 = Registry.quantile many 0.5 in
+     p50 >= 0.05 && p50 <= 0.1);
+  Alcotest.(check int) "count" 100 (Registry.hist_count many);
+  feq "sum" 5.05 (Registry.hist_sum many)
+
+let test_prometheus_export () =
+  let reg = Registry.create () in
+  let jobs = Registry.counter reg "asim_jobs_total" ~help:"Jobs" ~labels:[ ("status", "ok") ] in
+  Registry.add jobs 3.0;
+  let g = Registry.gauge reg "asim_cache_entries" ~help:"Entries" in
+  Registry.set g 2.0;
+  let h =
+    Registry.histogram reg "asim_lat_seconds" ~buckets:[| 0.1; 1.0 |] ~help:"Latency"
+  in
+  Registry.observe h 0.05;
+  Registry.observe h 5.0;
+  let text = Registry.to_prometheus reg in
+  let has needle =
+    Alcotest.(check bool) ("export contains " ^ needle) true
+      (let len = String.length needle in
+       let n = String.length text in
+       let rec at i = i + len <= n && (String.sub text i len = needle || at (i + 1)) in
+       at 0)
+  in
+  has "# TYPE asim_jobs_total counter";
+  has "# HELP asim_jobs_total Jobs";
+  has "asim_jobs_total{status=\"ok\"} 3";
+  has "# TYPE asim_cache_entries gauge";
+  has "asim_cache_entries 2";
+  has "# TYPE asim_lat_seconds histogram";
+  has "asim_lat_seconds_bucket{le=\"0.1\"} 1";
+  has "asim_lat_seconds_bucket{le=\"+Inf\"} 2";
+  has "asim_lat_seconds_count 2";
+  (* deterministic: same state renders byte-identically *)
+  Alcotest.(check string) "stable render" text (Registry.to_prometheus reg)
+
+(* --- tracer ---------------------------------------------------------------- *)
+
+let test_null_tracer () =
+  Alcotest.(check bool) "inactive" false (Tracer.is_active Tracer.null);
+  let r = Tracer.span Tracer.null "anything" (fun () -> 41 + 1) in
+  Alcotest.(check int) "thunk result" 42 r;
+  Tracer.span_at Tracer.null "marker" ~ts:0.0 ~dur:1.0;
+  Alcotest.(check int) "nothing recorded" 0 (Tracer.event_count Tracer.null)
+
+let test_span_records () =
+  let c = Clock.manual ~start:10.0 () in
+  Clock.with_source (Clock.manual_source c) (fun () ->
+      let tr = Tracer.create () in
+      let v =
+        Tracer.span tr "stage" ~args:[ ("k", "v") ] (fun () ->
+            Clock.advance c 0.25;
+            "done")
+      in
+      Alcotest.(check string) "result" "done" v;
+      (try Tracer.span tr "failing" (fun () -> failwith "boom") with Failure _ -> ());
+      Tracer.span_at tr "wait" ~ts:5.0 ~dur:0.5;
+      match Tracer.events tr with
+      | [ a; b; m ] ->
+          Alcotest.(check string) "first name" "stage" a.Tracer.name;
+          feq "ts us" 10_000_000.0 a.Tracer.ts_us;
+          feq "dur us" 250_000.0 a.Tracer.dur_us;
+          Alcotest.(check (list (pair string string))) "args" [ ("k", "v") ] a.Tracer.args;
+          Alcotest.(check string) "raise still recorded" "failing" b.Tracer.name;
+          Alcotest.(check string) "span_at" "wait" m.Tracer.name;
+          feq "span_at dur" 500_000.0 m.Tracer.dur_us
+      | evs -> Alcotest.failf "expected 3 events, got %d" (List.length evs))
+
+let test_chrome_json () =
+  let tr = Tracer.create () in
+  Tracer.span tr "a\"quoted\"" ~args:[ ("file", "x\\y") ] (fun () -> ());
+  Tracer.span_at tr "b" ~ts:1.0 ~dur:2.0;
+  let json = Asim_batch.Json.parse (Tracer.to_chrome_json tr) in
+  match Asim_batch.Json.to_list json with
+  | Some [ a; b ] ->
+      let str field j =
+        match Asim_batch.Json.(Option.bind (member field j) to_string_opt) with
+        | Some s -> s
+        | None -> Alcotest.failf "missing %s" field
+      in
+      let num field j =
+        match Asim_batch.Json.(Option.bind (member field j) to_float) with
+        | Some f -> f
+        | None -> Alcotest.failf "missing %s" field
+      in
+      Alcotest.(check string) "escaped name" "a\"quoted\"" (str "name" a);
+      Alcotest.(check string) "ph" "X" (str "ph" a);
+      Alcotest.(check string) "cat" "asim" (str "cat" a);
+      ignore (num "ts" a);
+      ignore (num "dur" a);
+      ignore (num "pid" a);
+      ignore (num "tid" a);
+      (match Asim_batch.Json.member "args" a with
+      | Some args -> Alcotest.(check string) "escaped arg" "x\\y" (str "file" args)
+      | None -> Alcotest.fail "missing args");
+      feq "explicit ts" 1_000_000.0 (num "ts" b);
+      feq "explicit dur" 2_000_000.0 (num "dur" b)
+  | _ -> Alcotest.fail "expected a 2-event array"
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "clock",
+        [
+          Alcotest.test_case "manual source" `Quick test_clock_manual;
+          Alcotest.test_case "with_source restores" `Quick test_clock_restores;
+          Alcotest.test_case "set/reset" `Quick test_clock_set_reset;
+          Alcotest.test_case "fuzz deterministic" `Quick
+            test_fuzz_deterministic_under_mock_clock;
+          Alcotest.test_case "batch job deterministic" `Quick
+            test_batch_job_deterministic_under_mock_clock;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "counter" `Quick test_counter;
+          Alcotest.test_case "kind clash" `Quick test_kind_clash;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+        ] );
+      ( "tracer",
+        [
+          Alcotest.test_case "null is free" `Quick test_null_tracer;
+          Alcotest.test_case "span records" `Quick test_span_records;
+          Alcotest.test_case "chrome json" `Quick test_chrome_json;
+        ] );
+    ]
