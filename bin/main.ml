@@ -1,7 +1,7 @@
 (* asim — the ASIM II reproduction's command-line front end.
 
    Subcommands: check, run, codegen, pipeline, netlist, gates, profile,
-   coverage, asm, wavediff, fuzz, batch, serve, fmt, example. *)
+   coverage, asm, wavediff, fuzz, batch, bench, serve, fmt, example. *)
 
 open Cmdliner
 module Obs_clock = Asim_obs.Clock
@@ -53,7 +53,10 @@ let engine_arg =
     value
     & opt engine_conv Asim.Compiled
     & info [ "e"; "engine" ] ~docv:"ENGINE"
-        ~doc:"Simulation engine: $(b,interp) (the ASIM baseline) or $(b,compiled) (ASIM II).")
+        ~doc:
+          "Simulation engine: $(b,interp) (the ASIM baseline), $(b,compiled) \
+           (ASIM II) or $(b,flat) (int-coded flat kernel with activity-driven \
+           scheduling).")
 
 let trace_out_arg =
   Arg.(
@@ -176,7 +179,7 @@ let run_cmd =
     let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
     let config = { Asim.Machine.default_config with trace; faults } in
     let machine, build_s =
-      timed "pipeline.build" (fun () -> Asim.machine ~config ~engine analysis)
+      timed "pipeline.build" (fun () -> Asim.machine ~config ~engine ~tracer analysis)
     in
     let cycles =
       match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:0
@@ -970,6 +973,58 @@ let serve_cmd =
       const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ no_metrics_arg
       $ metrics_file_arg $ metrics_interval_arg)
 
+(* --- bench ------------------------------------------------------------------ *)
+
+let bench_cmd =
+  let run cycles reps check_cycles out =
+    let t = Asim_benchkit.Benchkit.run ?cycles ~reps ~check_cycles () in
+    print_string (Asim_benchkit.Benchkit.table t);
+    (match out with
+    | None -> ()
+    | Some path ->
+        Asim_benchkit.Benchkit.write_json t ~path;
+        Printf.printf "wrote %s\n" path);
+    if not (Asim_benchkit.Benchkit.agree t) then begin
+      prerr_endline "asim: bench differential check failed — engines disagree";
+      exit 1
+    end
+  in
+  let bench_cycles_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "n"; "cycles" ] ~docv:"N"
+          ~doc:
+            "Cycle budget per timed run (default: the sieve's 5545 cycles, \
+             the paper's Figure 5.1 configuration).")
+  in
+  let reps_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "reps" ] ~docv:"R"
+          ~doc:"Timed repetitions per engine; the best is kept (default 3).")
+  in
+  let check_cycles_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "check-cycles" ] ~docv:"N"
+          ~doc:"Cycle budget for the differential-oracle agreement check.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Also write the results as JSON (the BENCH_engines.json format).")
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Compare the simulation engines (interp, compiled, lowered, flat, \
+          flat-full) on the stack-machine sieve and the tiny computer; exits \
+          nonzero if any engine disagrees with the differential oracle.")
+    Term.(const run $ bench_cycles_arg $ reps_arg $ check_cycles_arg $ out_arg)
+
 (* --- fmt -------------------------------------------------------------------- *)
 
 let fmt_cmd =
@@ -1009,4 +1064,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
     [ check_cmd; run_cmd; codegen_cmd; pipeline_cmd; netlist_cmd; gates_cmd;
       profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fuzz_cmd; batch_cmd;
-      serve_cmd; fmt_cmd; example_cmd ]))
+      bench_cmd; serve_cmd; fmt_cmd; example_cmd ]))

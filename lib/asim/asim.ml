@@ -20,30 +20,35 @@ module Machine = Asim_sim.Machine
 module Vcd = Asim_sim.Vcd
 module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
+module Flat = Asim_flat.Flat
 module Specs = Specs
 
 type engine =
   | Interpreter
   | Compiled
+  | FlatKernel
 
 let engine_of_string s =
   match String.lowercase_ascii s with
   | "interp" | "interpreter" | "asim" -> Some Interpreter
   | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
+  | "flat" | "flat-kernel" | "flatkernel" -> Some FlatKernel
   | _ -> None
 
 let engine_to_string = function
   | Interpreter -> "interpreter"
   | Compiled -> "compiled"
+  | FlatKernel -> "flat"
 
 let load_string source = Analysis.analyze (Parser.parse_string source)
 
 let load_file path = Analysis.analyze (Parser.parse_file path)
 
-let machine ?config ?(engine = Compiled) ?optimize analysis =
+let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer analysis =
   match engine with
   | Interpreter -> Interp.create ?config analysis
   | Compiled -> Compile.create ?config ?optimize analysis
+  | FlatKernel -> Flat.create ?config ?schedule ?tracer analysis
 
 let run_analysis ?config ?engine ?cycles analysis =
   let m = machine ?config ?engine analysis in

@@ -24,18 +24,22 @@ module Machine = Asim_sim.Machine
 module Vcd = Asim_sim.Vcd
 module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
+module Flat = Asim_flat.Flat
 
 module Specs : module type of Specs
 (** Embedded example specifications. *)
 
 (** Which simulation engine to use.  [Interpreter] is the ASIM baseline;
-    [Compiled] is the ASIM II contribution. *)
+    [Compiled] is the ASIM II contribution; [FlatKernel] is the int-coded
+    flat program with activity-driven scheduling ({!Flat}). *)
 type engine =
   | Interpreter
   | Compiled
+  | FlatKernel
 
 val engine_of_string : string -> engine option
-(** ["interp"]/["asim"] and ["compiled"]/["asim2"] (case-insensitive). *)
+(** ["interp"]/["asim"], ["compiled"]/["asim2"] and ["flat"]
+    (case-insensitive). *)
 
 val engine_to_string : engine -> string
 
@@ -45,9 +49,16 @@ val load_string : string -> Analysis.t
 val load_file : string -> Analysis.t
 
 val machine :
-  ?config:Machine.config -> ?engine:engine -> ?optimize:bool -> Analysis.t -> Machine.t
+  ?config:Machine.config ->
+  ?engine:engine ->
+  ?optimize:bool ->
+  ?schedule:Flat.schedule ->
+  ?tracer:Asim_obs.Tracer.t ->
+  Analysis.t ->
+  Machine.t
 (** Instantiate a runnable machine.  Defaults: [Compiled] engine, paper
-    optimizations on, {!Machine.default_config}. *)
+    optimizations on, {!Machine.default_config}.  [optimize] applies to the
+    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only. *)
 
 val run_string :
   ?config:Machine.config -> ?engine:engine -> ?cycles:int -> string -> Machine.t

@@ -100,7 +100,7 @@ let run_job t (job : Proto.job) =
       let m =
         Tracer.span tr ~args:job_attr "pipeline.build" (fun () ->
             Asim.machine ~config ~engine:job.Proto.engine ~optimize:job.Proto.optimize
-              analysis)
+              ~tracer:tr analysis)
       in
       let cycles =
         match job.Proto.cycles with

@@ -1,0 +1,211 @@
+module Oracle = Asim_fuzz.Oracle
+module Json = Asim_batch.Json
+
+type engine_run = {
+  engine : string;
+  build_s : float;
+  wall_s : float;
+  ns_per_cycle : float;
+}
+
+type workload = {
+  name : string;
+  cycles : int;
+  components : int;
+  flat_words : int;
+  flat_skip_rate : float;
+  agreement : string option;
+  engines : engine_run list;
+}
+
+type t = { cycles : int; reps : int; workloads : workload list }
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* The five engines the harness times.  [Unoptimized] is the closure
+   engine's own ablation and already covered by bench/main.ml's §4.4
+   figure; [FlatFull] is the activity-scheduling ablation this harness is
+   about. *)
+let measured =
+  [ Oracle.Interp; Oracle.Compiled; Oracle.Lowered; Oracle.Flat; Oracle.FlatFull ]
+
+let bench_engine ~reps ~cycles analysis engine =
+  let config = Asim.Machine.quiet_config in
+  let build () = Oracle.build engine ~config analysis in
+  let first, build_s = time build in
+  (* Warm the code paths once, then take the best of [reps] fresh machines
+     (state is cumulative, so each rep needs its own). *)
+  Asim.Machine.run first ~cycles:(min cycles 64);
+  let wall = ref infinity in
+  for _ = 1 to max 1 reps do
+    let m = build () in
+    let (), t = time (fun () -> Asim.Machine.run m ~cycles) in
+    wall := Float.min !wall t
+  done;
+  {
+    engine = Oracle.engine_to_string engine;
+    build_s;
+    wall_s = !wall;
+    ns_per_cycle = !wall /. float_of_int (max 1 cycles) *. 1e9;
+  }
+
+let run_workload ~reps ~cycles ~check_cycles ~name (spec : Asim.Spec.t) =
+  let analysis = Asim.Analysis.analyze spec in
+  let engines = List.map (bench_engine ~reps ~cycles analysis) measured in
+  let flat_words = Asim_flat.Flat.program_size analysis in
+  let flat_skip_rate =
+    let m, counts =
+      Asim_flat.Flat.create_debug ~config:Asim.Machine.quiet_config analysis
+    in
+    Asim.Machine.run m ~cycles;
+    let per_component = counts () in
+    let ncomb = List.length per_component in
+    let total = List.fold_left (fun acc (_, n) -> acc + n) 0 per_component in
+    if ncomb = 0 || cycles = 0 then 0.0
+    else 1.0 -. (float_of_int total /. float_of_int (ncomb * cycles))
+  in
+  let agreement =
+    Oracle.check ~cycles:check_cycles spec |> Option.map Oracle.divergence_to_string
+  in
+  {
+    name;
+    cycles;
+    components = List.length spec.Asim.Spec.components;
+    flat_words;
+    flat_skip_rate;
+    agreement;
+    engines;
+  }
+
+(* Both workloads park in halt spins, so any cycle budget is safe. *)
+let sieve_spec () =
+  Asim_stackm.Microcode.spec ~program:Asim_stackm.Demos.sieve_reassembled ()
+
+let tinyc_spec () =
+  Asim_tinyc.Machine.spec ~program:Asim_tinyc.Machine.demo_image ()
+
+let run ?(cycles = Asim_stackm.Programs.sieve_cycles) ?(reps = 3)
+    ?(check_cycles = 300) () =
+  {
+    cycles;
+    reps;
+    workloads =
+      [
+        run_workload ~reps ~cycles ~check_cycles ~name:"stackm-sieve" (sieve_spec ());
+        run_workload ~reps ~cycles ~check_cycles ~name:"tinyc-demo" (tinyc_spec ());
+      ];
+  }
+
+let wall w engine =
+  List.find_opt (fun (e : engine_run) -> e.engine = engine) w.engines
+  |> Option.map (fun e -> e.wall_s)
+
+let ratio w a b =
+  match (wall w a, wall w b) with
+  | Some x, Some y when y > 0.0 -> Some (x /. y)
+  | _ -> None
+
+let agree t = List.for_all (fun w -> w.agreement = None) t.workloads
+
+let opt_ratio_str w a b =
+  match ratio w a b with Some r -> Printf.sprintf "%.2fx" r | None -> "-"
+
+let table t =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  List.iter
+    (fun w ->
+      pr "workload %s: %d cycles, %d components, flat program %d words\n" w.name
+        w.cycles w.components w.flat_words;
+      pr "  %-10s %12s %12s %12s %10s\n" "engine" "build (s)" "wall (s)"
+        "ns/cycle" "vs interp";
+      List.iter
+        (fun e ->
+          pr "  %-10s %12.6f %12.4f %12.0f %10s\n" e.engine e.build_s e.wall_s
+            e.ns_per_cycle
+            (opt_ratio_str w "interp" e.engine))
+        w.engines;
+      pr "  flat vs compiled: %s   activity ablation (full/activity): %s   skip rate: %.1f%%\n"
+        (opt_ratio_str w "compiled" "flat")
+        (opt_ratio_str w "flat-full" "flat")
+        (100.0 *. w.flat_skip_rate);
+      (match w.agreement with
+      | None -> pr "  differential check: all engines agree\n"
+      | Some d -> pr "  differential check FAILED: %s\n" d);
+      pr "\n")
+    t.workloads;
+  (match
+     List.find_opt (fun w -> w.name = "stackm-sieve") t.workloads
+     |> fun o -> Option.bind o (fun w -> ratio w "interp" "compiled")
+   with
+  | Some r ->
+      pr
+        "paper Figure 5.1 context: interp vs compiled here %.1fx (paper: ~20.7x)\n"
+        r
+  | None -> ());
+  Buffer.contents buf
+
+let engine_json w (e : engine_run) =
+  Json.Obj
+    [
+      ("engine", Json.String e.engine);
+      ("build_s", Json.Float e.build_s);
+      ("wall_s", Json.Float e.wall_s);
+      ("ns_per_cycle", Json.Float e.ns_per_cycle);
+      ( "speedup_vs_interp",
+        match ratio w "interp" e.engine with
+        | Some r -> Json.Float r
+        | None -> Json.Null );
+    ]
+
+let workload_json w =
+  let r name a b =
+    (name, match ratio w a b with Some r -> Json.Float r | None -> Json.Null)
+  in
+  Json.Obj
+    [
+      ("workload", Json.String w.name);
+      ("cycles", Json.Int w.cycles);
+      ("components", Json.Int w.components);
+      ("flat_program_words", Json.Int w.flat_words);
+      ("engines", Json.List (List.map (engine_json w) w.engines));
+      r "interp_vs_compiled" "interp" "compiled";
+      r "interp_vs_flat" "interp" "flat";
+      r "flat_vs_compiled" "compiled" "flat";
+      r "activity_ablation_speedup" "flat-full" "flat";
+      ("flat_skip_rate", Json.Float w.flat_skip_rate);
+      ("agree", Json.Bool (w.agreement = None));
+      ( "divergence",
+        match w.agreement with Some d -> Json.String d | None -> Json.Null );
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.String "asim-bench-engines/1");
+      ("cycles", Json.Int t.cycles);
+      ("reps", Json.Int t.reps);
+      ("workloads", Json.List (List.map workload_json t.workloads));
+      ( "paper",
+        Json.Obj
+          [
+            ("figure", Json.String "5.1");
+            ("interp_vs_compiled_paper", Json.Float (310.6 /. 15.0));
+            ( "note",
+              Json.String
+                "Paper timings are VAX 11/780 seconds for the 5545-cycle \
+                 sieve; compare ratios, not absolute times.  The flat \
+                 kernel is the rung below the paper's compiled simulator: \
+                 same semantics, no per-component closures, and \
+                 activity-driven scheduling on top." );
+          ] );
+    ]
+
+let write_json t ~path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc

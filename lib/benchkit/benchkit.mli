@@ -1,0 +1,57 @@
+(** The engine-comparison harness behind [asim bench] and
+    [BENCH_engines.json].
+
+    Runs the repo's engines (interpreter, closure compiler, lowered-IR
+    evaluator, flat kernel, and the flat kernel's full-re-evaluation
+    ablation) over two fixed workloads — the Itty Bitty Stack Machine
+    running the sieve of Eratosthenes (the paper's Figure 5.1
+    configuration) and the Appendix F tiny computer running its demo
+    program — and reports wall-clock per run, ns/cycle, the activity-
+    scheduling skip rate, and a differential-oracle agreement check, so a
+    performance claim and its correctness witness travel together. *)
+
+type engine_run = {
+  engine : string;  (** oracle engine name, e.g. ["flat"] *)
+  build_s : float;  (** seconds to construct the machine *)
+  wall_s : float;  (** best-of-reps seconds for the full cycle budget *)
+  ns_per_cycle : float;
+}
+
+type workload = {
+  name : string;
+  cycles : int;
+  components : int;
+  flat_words : int;  (** flat-program size in instruction words *)
+  flat_skip_rate : float;
+      (** fraction of combinational evaluations the activity scheduler
+          skipped over the run, in [0, 1] *)
+  agreement : string option;
+      (** [None] when every engine agreed on the differential check;
+          [Some divergence] otherwise *)
+  engines : engine_run list;
+}
+
+type t = { cycles : int; reps : int; workloads : workload list }
+
+val run : ?cycles:int -> ?reps:int -> ?check_cycles:int -> unit -> t
+(** Run the harness.  [cycles] is the per-run budget (default: the sieve's
+    5545 — both workloads park in halt spins, so any budget is safe);
+    [reps] timed repetitions per engine, best kept (default 3);
+    [check_cycles] the differential-oracle budget (default 300). *)
+
+val ratio : workload -> string -> string -> float option
+(** [ratio w a b] is [wall(a) /. wall(b)] — how many times faster engine
+    [b] is than engine [a] on this workload; [None] if either is absent. *)
+
+val agree : t -> bool
+(** All workloads passed the differential check. *)
+
+val table : t -> string
+(** Human-readable report, one block per workload. *)
+
+val to_json : t -> Asim_batch.Json.t
+(** The [BENCH_engines.json] document: per-workload engine rows plus the
+    derived ratios, and where the paper's Figure 5.1 20x interp-vs-compiled
+    gap lands here. *)
+
+val write_json : t -> path:string -> unit

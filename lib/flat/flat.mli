@@ -1,0 +1,67 @@
+(** The flat-kernel engine: ASIM II compiled one rung further down.
+
+    [Asim_compile] reproduces the paper's compiled-simulation idea with one
+    OCaml closure per component; every cycle still pays a closure call, a
+    hashtable-free but pointer-chasing walk, and re-evaluates components
+    whose inputs did not change.  This engine removes both costs:
+
+    {b Flat program.}  [create] compiles the analyzed specification into a
+    contiguous int-coded instruction array over preallocated [int array]
+    state (one slot per component output, one shared cell array for all
+    memories, latched address/operation arrays).  Names, bit fields and
+    widths are resolved at compile time into slot indices, masks and shift
+    counts; evaluation is a tight tail-recursive dispatch loop over the
+    instruction stream with no bounds checks (indices are validated when the
+    program is emitted) and zero per-cycle heap allocation when tracing and
+    I/O are quiet.
+
+    {b Activity-driven scheduling.}  With [~schedule:Activity] (the
+    default), each combinational component carries a dirty bit seeded from
+    the specification's dependency graph.  A cycle only re-evaluates the
+    combinational cone downstream of registers, memories and inputs whose
+    {e values} actually changed; a producer whose output is recomputed but
+    equal wakes nobody.  Memories always latch (they are sequential), and
+    fault-injected components are pinned permanently dirty so cycle-windowed
+    faults keep firing.  [~schedule:Full] re-evaluates everything every
+    cycle — the ablation baseline for the benchmark harness.
+
+    The result is observationally identical to [Asim_interp] and
+    [Asim_compile] (the differential-fuzz oracle enforces this): same
+    per-cycle outputs, traces, I/O events, statistics, runtime errors and
+    fault behavior. *)
+
+(** Combinational evaluation policy. *)
+type schedule =
+  | Activity  (** dirty-bit scheduling: skip quiescent logic (default) *)
+  | Full  (** re-evaluate every component every cycle (ablation baseline) *)
+
+val schedule_to_string : schedule -> string
+
+val create :
+  ?config:Asim_sim.Machine.config ->
+  ?schedule:schedule ->
+  ?tracer:Asim_obs.Tracer.t ->
+  Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t
+(** Compile the analyzed spec to a flat program and return a runnable
+    machine.  When [tracer] is active, compilation emits
+    [codegen.flat.layout], [codegen.flat.emit] and [codegen.flat.wire]
+    spans, so flat-compile time shows up next to the [pipeline.*] spans in
+    a {{!Asim_obs.Tracer}Chrome trace}. *)
+
+val create_debug :
+  ?config:Asim_sim.Machine.config ->
+  ?schedule:schedule ->
+  ?tracer:Asim_obs.Tracer.t ->
+  Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t * (unit -> (string * int) list)
+(** Like {!create}, but also returns an inspection function giving the
+    number of times each combinational component has actually been
+    evaluated (in evaluation order).  Under [Activity] scheduling the
+    counts expose which parts of the design were quiescent; under [Full]
+    every count equals the cycle count.  For tests and the benchmark
+    harness's skip-rate metric. *)
+
+val program_size : Asim_analysis.Analysis.t -> int
+(** Number of instruction words the flat program for this spec occupies —
+    a compile-time metric (reported by benchmarks, no machine built). *)

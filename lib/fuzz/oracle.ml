@@ -1,15 +1,17 @@
 open Asim_core
 open Asim_sim
 
-type engine = Interp | Compiled | Unoptimized | Lowered | Buggy
+type engine = Interp | Compiled | Unoptimized | Lowered | Flat | FlatFull | Buggy
 
-let all = [ Interp; Compiled; Unoptimized; Lowered ]
+let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull ]
 
 let engine_to_string = function
   | Interp -> "interp"
   | Compiled -> "compiled"
   | Unoptimized -> "unoptimized"
   | Lowered -> "lowered"
+  | Flat -> "flat"
+  | FlatFull -> "flat-full"
   | Buggy -> "buggy"
 
 let engine_of_string s =
@@ -18,6 +20,8 @@ let engine_of_string s =
   | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
   | "unoptimized" | "unopt" -> Some Unoptimized
   | "lowered" | "lower" | "ir" -> Some Lowered
+  | "flat" -> Some Flat
+  | "flat-full" | "flat_full" | "flatfull" -> Some FlatFull
   | "buggy" -> Some Buggy
   | _ -> None
 
@@ -38,6 +42,8 @@ let build engine ~config (analysis : Asim_analysis.Analysis.t) =
   | Compiled -> Asim_compile.Compile.create ~config analysis
   | Unoptimized -> Asim_compile.Compile.create ~config ~optimize:false analysis
   | Lowered -> Loweval.create ~config analysis
+  | Flat -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Activity analysis
+  | FlatFull -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Full analysis
   | Buggy ->
       Asim_compile.Compile.create ~config
         (Asim_analysis.Analysis.analyze

@@ -11,14 +11,16 @@ type engine =
   | Compiled  (** the ASIM II closure compiler, §4.4 optimizations on *)
   | Unoptimized  (** the closure compiler with the optimizations disabled *)
   | Lowered  (** the codegen lowering executed directly ({!Loweval}) *)
+  | Flat  (** the flat-kernel engine, activity scheduling on *)
+  | FlatFull  (** the flat-kernel engine, full re-evaluation (ablation) *)
   | Buggy
       (** [Compiled] over a deliberately corrupted spec (every constant
           ALU-function 4/add becomes 5/sub) — a fault-injected engine for
           exercising the oracle and shrinker end to end *)
 
 val all : engine list
-(** The four honest engines: [Interp] (the reference), [Compiled],
-    [Unoptimized], [Lowered]. *)
+(** The six honest engines: [Interp] (the reference), [Compiled],
+    [Unoptimized], [Lowered], [Flat], [FlatFull]. *)
 
 val engine_of_string : string -> engine option
 
