@@ -55,8 +55,10 @@ let engine_arg =
     & info [ "e"; "engine" ] ~docv:"ENGINE"
         ~doc:
           "Simulation engine: $(b,interp) (the ASIM baseline), $(b,compiled) \
-           (ASIM II) or $(b,flat) (int-coded flat kernel with activity-driven \
-           scheduling).")
+           (ASIM II), $(b,flat) (int-coded flat kernel with activity-driven \
+           scheduling) or $(b,native) (spec compiled to an OCaml module by \
+           the host toolchain and Dynlinked in; needs ocamlfind/ocamlopt on \
+           PATH).")
 
 let trace_out_arg =
   Arg.(
@@ -695,6 +697,9 @@ let fuzz_cmd =
     List.iter
       (fun r -> print_endline (Asim_fuzz.Runner.report_to_string r))
       outcome.Asim_fuzz.Runner.reports;
+    (* The summary names what actually ran: the campaign drops engines
+       that cannot run here (native without a toolchain). *)
+    let engines = List.filter Asim_fuzz.Oracle.available engines in
     print_endline (Asim_fuzz.Runner.summary ~seed ~engines outcome);
     if outcome.Asim_fuzz.Runner.reports <> [] then exit 1
   in
@@ -754,7 +759,9 @@ let fuzz_cmd =
           ~doc:
             "Comma-separated engines to compare (first is the reference): \
              $(b,interp), $(b,compiled), $(b,unoptimized), $(b,lowered), \
-             $(b,buggy).")
+             $(b,flat), $(b,flat-full), $(b,native), $(b,buggy).  \
+             $(b,native) is dropped with a warning when no OCaml toolchain \
+             answers on PATH.")
   in
   let artifacts_arg =
     Arg.(
@@ -1021,8 +1028,11 @@ let bench_cmd =
     (Cmd.info "bench"
        ~doc:
          "Compare the simulation engines (interp, compiled, lowered, flat, \
-          flat-full) on the stack-machine sieve and the tiny computer; exits \
-          nonzero if any engine disagrees with the differential oracle.")
+          flat-full, and native when a toolchain is on PATH) on the \
+          stack-machine sieve and the tiny computer, including raw and \
+          prep-inclusive speedups and the native engine's amortization \
+          point; exits nonzero if any engine disagrees with the \
+          differential oracle.")
     Term.(const run $ bench_cycles_arg $ reps_arg $ check_cycles_arg $ out_arg)
 
 (* --- fmt -------------------------------------------------------------------- *)

@@ -21,24 +21,28 @@ module Vcd = Asim_sim.Vcd
 module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
+module Jit = Asim_jit.Jit
 module Specs = Specs
 
 type engine =
   | Interpreter
   | Compiled
   | FlatKernel
+  | Native
 
 let engine_of_string s =
   match String.lowercase_ascii s with
   | "interp" | "interpreter" | "asim" -> Some Interpreter
   | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
   | "flat" | "flat-kernel" | "flatkernel" -> Some FlatKernel
+  | "native" | "jit" -> Some Native
   | _ -> None
 
 let engine_to_string = function
   | Interpreter -> "interpreter"
   | Compiled -> "compiled"
   | FlatKernel -> "flat"
+  | Native -> "native"
 
 let load_string source = Analysis.analyze (Parser.parse_string source)
 
@@ -49,6 +53,7 @@ let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer analysis =
   | Interpreter -> Interp.create ?config analysis
   | Compiled -> Compile.create ?config ?optimize analysis
   | FlatKernel -> Flat.create ?config ?schedule ?tracer analysis
+  | Native -> Jit.create ?config ?tracer analysis
 
 let run_analysis ?config ?engine ?cycles analysis =
   let m = machine ?config ?engine analysis in

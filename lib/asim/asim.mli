@@ -25,21 +25,25 @@ module Vcd = Asim_sim.Vcd
 module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
+module Jit = Asim_jit.Jit
 
 module Specs : module type of Specs
 (** Embedded example specifications. *)
 
 (** Which simulation engine to use.  [Interpreter] is the ASIM baseline;
     [Compiled] is the ASIM II contribution; [FlatKernel] is the int-coded
-    flat program with activity-driven scheduling ({!Flat}). *)
+    flat program with activity-driven scheduling ({!Flat}); [Native] is the
+    Dynlink-JIT over the codegen backend ({!Jit} — needs an OCaml toolchain
+    on PATH). *)
 type engine =
   | Interpreter
   | Compiled
   | FlatKernel
+  | Native
 
 val engine_of_string : string -> engine option
-(** ["interp"]/["asim"], ["compiled"]/["asim2"] and ["flat"]
-    (case-insensitive). *)
+(** ["interp"]/["asim"], ["compiled"]/["asim2"], ["flat"] and
+    ["native"]/["jit"] (case-insensitive). *)
 
 val engine_to_string : engine -> string
 

@@ -111,10 +111,32 @@ let flatten ids (expr : Expr.t) =
   go 0 (List.rev expr);
   (!const, List.rev !terms)
 
+(* Peephole: fuse adjacent term loads of the same source with the same
+   placement shift and disjoint masks into one masked load.  The classic
+   producer is a concatenation reassembling neighboring fields of one
+   register ([x<7:4> & x<3:0>]): both atoms land at the same shift with
+   disjoint masks, so [(v land m1) <<s + (v land m2) <<s] equals
+   [(v land (m1 lor m2)) <<s] — for a left shift because the sum of disjoint
+   parts is their union, and for a right shift because disjointness survives
+   the shift, so no carries and no truncated cross-talk in either direction.
+   Whole-word references (mask -1) never fuse: their implicit mask is not
+   disjoint from anything. *)
+let fuse_terms terms =
+  let rec go = function
+    | ({ t_src = s1; t_mask = m1; t_shift = sh1 } as a)
+      :: ({ t_src = s2; t_mask = m2; t_shift = sh2 } :: rest as tail) ->
+        if s1 = s2 && sh1 = sh2 && m1 >= 0 && m2 >= 0 && m1 land m2 = 0 then
+          go ({ a with t_mask = m1 lor m2 } :: rest)
+        else a :: go tail
+    | terms -> terms
+  in
+  go terms
+
 (* Emit a flattened expression; the block leaves its value in [acc].  Every
    referenced slot is appended to [refs] (the dependency edges the activity
    scheduler wires up). *)
-let emit_flat e refs (const, terms) =
+let emit_flat ?(peephole = true) e refs (const, terms) =
+  let terms = if peephole then fuse_terms terms else terms in
   emit e op_const;
   emit e const;
   List.iter
@@ -144,17 +166,18 @@ let emit_flat e refs (const, terms) =
         emit e (-t_shift)))
     terms
 
-let emit_expr e ids refs expr = emit_flat e refs (flatten ids expr)
+let emit_expr ?peephole e ids refs expr =
+  emit_flat ?peephole e refs (flatten ids expr)
 
 (* --- component blocks --------------------------------------------------- *)
 
-let emit_alu e ids refs ({ fn; left; right } : Component.alu) =
+let emit_alu ?peephole e ids refs ({ fn; left; right } : Component.alu) =
   (* Both operands are flattened unconditionally so missing-name errors
      surface at compile time exactly as in [Asim_compile]; only the
      operands an ALU function actually consumes are emitted (and hence
      scheduled on). *)
   let fl = flatten ids left and fr = flatten ids right in
-  let use flat = emit_flat e refs flat in
+  let use flat = emit_flat ?peephole e refs flat in
   let binary op =
     use fl;
     emit e op_save;
@@ -198,22 +221,37 @@ let emit_alu e ids refs ({ fn; left; right } : Component.alu) =
       emit e op_dyn;
       emit e op_ret
 
-let emit_selector e ids refs comp_id ({ select; cases } : Component.selector) =
-  emit_expr e ids refs select;
-  emit e op_sel;
-  emit e comp_id;
-  let n = Array.length cases in
-  emit e n;
-  let slots = e.len in
-  for _ = 1 to n do
-    emit e 0
-  done;
-  Array.iteri
-    (fun i case ->
-      e.buf.(slots + i) <- e.len;
-      emit_expr e ids refs case;
-      emit e op_ret)
-    cases
+let emit_selector ?(peephole = true) e ids refs comp_id
+    ({ select; cases } : Component.selector) =
+  let const_select =
+    match flatten ids select with
+    | c, [] when peephole -> Some c
+    | _ -> None
+  in
+  match const_select with
+  | Some c when c >= 0 && c < Array.length cases ->
+      (* Peephole: the control input is a compile-time constant in range, so
+         the dispatch (and every dead case block) folds away.  An
+         out-of-range constant keeps the op_sel so the runtime range error
+         still raises every cycle. *)
+      emit_expr ~peephole e ids refs cases.(c);
+      emit e op_ret
+  | _ ->
+      emit_expr ~peephole e ids refs select;
+      emit e op_sel;
+      emit e comp_id;
+      let n = Array.length cases in
+      emit e n;
+      let slots = e.len in
+      for _ = 1 to n do
+        emit e 0
+      done;
+      Array.iteri
+        (fun i case ->
+          e.buf.(slots + i) <- e.len;
+          emit_expr ~peephole e ids refs case;
+          emit e op_ret)
+        cases
 
 (* --- compiled program --------------------------------------------------- *)
 
@@ -243,7 +281,7 @@ type program = {
   p_dep_len : int array;  (** by producer slot *)
 }
 
-let compile (analysis : Asim_analysis.Analysis.t) =
+let compile ?peephole (analysis : Asim_analysis.Analysis.t) =
   let spec = analysis.Asim_analysis.Analysis.spec in
   let components = spec.Spec.components in
   let ncomp = List.length components in
@@ -263,8 +301,8 @@ let compile (analysis : Asim_analysis.Analysis.t) =
       comb_id.(pos) <- id;
       let refs = ref [] in
       (match c.kind with
-      | Component.Alu alu -> emit_alu e ids refs alu
-      | Component.Selector sel -> emit_selector e ids refs id sel
+      | Component.Alu alu -> emit_alu ?peephole e ids refs alu
+      | Component.Selector sel -> emit_selector ?peephole e ids refs id sel
       | Component.Memory _ -> assert false);
       List.sort_uniq compare !refs
       |> List.iter (fun src -> dependents.(src) <- pos :: dependents.(src)))
@@ -279,13 +317,13 @@ let compile (analysis : Asim_analysis.Analysis.t) =
            match c.kind with
            | Component.Memory m ->
                let addr_pc = e.len in
-               emit_expr e ids sink m.addr;
+               emit_expr ?peephole e ids sink m.addr;
                emit e op_ret;
                let op_pc = e.len in
-               emit_expr e ids sink m.op;
+               emit_expr ?peephole e ids sink m.op;
                emit e op_ret;
                let data_pc = e.len in
-               emit_expr e ids sink m.data;
+               emit_expr ?peephole e ids sink m.data;
                emit e op_ret;
                let d =
                  {
@@ -331,18 +369,20 @@ let compile (analysis : Asim_analysis.Analysis.t) =
     p_dep_len = dep_len;
   }
 
-let program_size analysis = Array.length (compile analysis).p_code
+let program_size ?peephole analysis =
+  Array.length (compile ?peephole analysis).p_code
 
 (* --- the machine -------------------------------------------------------- *)
 
 let create_debug ?(config = Machine.default_config) ?(schedule = Activity)
-    ?(tracer = Asim_obs.Tracer.null) (analysis : Asim_analysis.Analysis.t) =
+    ?(tracer = Asim_obs.Tracer.null) ?peephole
+    (analysis : Asim_analysis.Analysis.t) =
   let module T = Asim_obs.Tracer in
   let p =
     T.span tracer
       ~args:[ ("schedule", schedule_to_string schedule) ]
       "codegen.flat.emit"
-      (fun () -> compile analysis)
+      (fun () -> compile ?peephole analysis)
   in
   let code = p.p_code in
   let names = p.p_names in
@@ -595,5 +635,5 @@ let create_debug ?(config = Machine.default_config) ?(schedule = Activity)
   let counts () = List.init ncomb (fun i -> (names.(comb_id.(i)), evals.(i))) in
   (machine, counts)
 
-let create ?config ?schedule ?tracer analysis =
-  fst (create_debug ?config ?schedule ?tracer analysis)
+let create ?config ?schedule ?tracer ?peephole analysis =
+  fst (create_debug ?config ?schedule ?tracer ?peephole analysis)

@@ -41,18 +41,23 @@ val create :
   ?config:Asim_sim.Machine.config ->
   ?schedule:schedule ->
   ?tracer:Asim_obs.Tracer.t ->
+  ?peephole:bool ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t
 (** Compile the analyzed spec to a flat program and return a runnable
     machine.  When [tracer] is active, compilation emits
     [codegen.flat.layout], [codegen.flat.emit] and [codegen.flat.wire]
     spans, so flat-compile time shows up next to the [pipeline.*] spans in
-    a {{!Asim_obs.Tracer}Chrome trace}. *)
+    a {{!Asim_obs.Tracer}Chrome trace}.  [peephole] (default [true])
+    controls the emit-time peephole pass: constant selectors are folded to
+    their live case and adjacent disjoint mask/shift loads of the same slot
+    are fused into one term. *)
 
 val create_debug :
   ?config:Asim_sim.Machine.config ->
   ?schedule:schedule ->
   ?tracer:Asim_obs.Tracer.t ->
+  ?peephole:bool ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t * (unit -> (string * int) list)
 (** Like {!create}, but also returns an inspection function giving the
@@ -62,6 +67,8 @@ val create_debug :
     every count equals the cycle count.  For tests and the benchmark
     harness's skip-rate metric. *)
 
-val program_size : Asim_analysis.Analysis.t -> int
+val program_size : ?peephole:bool -> Asim_analysis.Analysis.t -> int
 (** Number of instruction words the flat program for this spec occupies —
-    a compile-time metric (reported by benchmarks, no machine built). *)
+    a compile-time metric (reported by benchmarks, no machine built).
+    Pass [~peephole:false] for the pre-peephole size; the benchmark harness
+    reports both so the pass's effect is visible. *)

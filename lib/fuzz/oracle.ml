@@ -1,9 +1,21 @@
 open Asim_core
 open Asim_sim
 
-type engine = Interp | Compiled | Unoptimized | Lowered | Flat | FlatFull | Buggy
+type engine =
+  | Interp
+  | Compiled
+  | Unoptimized
+  | Lowered
+  | Flat
+  | FlatFull
+  | Native
+  | Buggy
 
-let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull ]
+let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull; Native ]
+
+(* [Native] shells out to the host toolchain; a campaign on a box without one
+   should drop the engine (with a warning) rather than abort. *)
+let available = function Native -> Asim_jit.Jit.available () | _ -> true
 
 let engine_to_string = function
   | Interp -> "interp"
@@ -12,6 +24,7 @@ let engine_to_string = function
   | Lowered -> "lowered"
   | Flat -> "flat"
   | FlatFull -> "flat-full"
+  | Native -> "native"
   | Buggy -> "buggy"
 
 let engine_of_string s =
@@ -22,6 +35,7 @@ let engine_of_string s =
   | "lowered" | "lower" | "ir" -> Some Lowered
   | "flat" -> Some Flat
   | "flat-full" | "flat_full" | "flatfull" -> Some FlatFull
+  | "native" | "jit" -> Some Native
   | "buggy" -> Some Buggy
   | _ -> None
 
@@ -44,6 +58,7 @@ let build engine ~config (analysis : Asim_analysis.Analysis.t) =
   | Lowered -> Loweval.create ~config analysis
   | Flat -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Activity analysis
   | FlatFull -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Full analysis
+  | Native -> Asim_jit.Jit.create ~config analysis
   | Buggy ->
       Asim_compile.Compile.create ~config
         (Asim_analysis.Analysis.analyze

@@ -13,14 +13,22 @@ type engine =
   | Lowered  (** the codegen lowering executed directly ({!Loweval}) *)
   | Flat  (** the flat-kernel engine, activity scheduling on *)
   | FlatFull  (** the flat-kernel engine, full re-evaluation (ablation) *)
+  | Native
+      (** the native-compiled engine ([Asim_jit.Jit]): spec lowered to an
+          OCaml module, compiled by the host toolchain and Dynlinked in *)
   | Buggy
       (** [Compiled] over a deliberately corrupted spec (every constant
           ALU-function 4/add becomes 5/sub) — a fault-injected engine for
           exercising the oracle and shrinker end to end *)
 
 val all : engine list
-(** The six honest engines: [Interp] (the reference), [Compiled],
-    [Unoptimized], [Lowered], [Flat], [FlatFull]. *)
+(** The seven honest engines: [Interp] (the reference), [Compiled],
+    [Unoptimized], [Lowered], [Flat], [FlatFull], [Native]. *)
+
+val available : engine -> bool
+(** Whether the engine can run here at all.  Only [Native] can be
+    unavailable (no OCaml toolchain on PATH); campaign drivers should drop
+    unavailable engines with a warning instead of aborting. *)
 
 val engine_of_string : string -> engine option
 

@@ -87,6 +87,21 @@ type work_result = {
 let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
     ?(engines = Oracle.all) ?(start = 0) ?(shrink = true) ?(on_spec = fun _ _ -> ())
     ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count ~size () =
+  (* Engines that cannot run here (native without a toolchain) are dropped
+     with a warning rather than aborting the campaign. *)
+  let engines =
+    List.filter
+      (fun e ->
+        Oracle.available e
+        ||
+        (log
+           (Printf.sprintf
+              "warning: engine %s unavailable here (no toolchain) — dropped \
+               from the comparison set"
+              (Oracle.engine_to_string e));
+         false))
+      engines
+  in
   let t0 = Asim_obs.Clock.now () in
   let deadline = Option.map (fun b -> t0 +. b) time_budget in
   let tested = ref 0 in

@@ -1,0 +1,55 @@
+(** The native-compiled engine: the spec lowered to an OCaml module, compiled
+    by the host toolchain out of process, and Dynlinked back in — the paper's
+    own translate/compile/execute build, with a content-addressed artifact
+    cache so repeat runs pay the compiler once.
+
+    Observable behavior (tracing, memory-mapped I/O, statistics, fault
+    injection, runtime errors) is identical to the in-process engines: the
+    generated code depends only on the canonical spec, and every side effect
+    enters through host closures in {!Asim_jit_runtime.ctx}. *)
+
+val available : unit -> bool
+(** Whether a usable toolchain answered [-version] ([ocamlfind ocamlopt] or
+    [ocamlopt] under native code; [ocamlfind ocamlc]/[ocamlc] under
+    bytecode).  When false, {!create} raises a one-line actionable
+    [Asim_core.Error.Error]. *)
+
+val toolchain_description : unit -> string option
+(** The selected compiler command and its reported version, e.g.
+    ["ocamlfind ocamlopt 5.1.1"] — used to tag benchmark rows. *)
+
+val default_cache_dir : unit -> string
+(** [$ASIM_JIT_CACHE_DIR], else [$XDG_CACHE_HOME|$HOME/.cache]/asim/jit. *)
+
+val artifact_path : cache_dir:string -> Asim_analysis.Analysis.t -> string
+(** Where the compiled artifact for this analysis lives (or would live) under
+    [cache_dir] — keyed by the canonical-form MD5 inside a subdirectory naming
+    the compiler version and the runtime interface digest. *)
+
+val generate_source : Asim_analysis.Analysis.t -> string
+(** The self-contained OCaml module handed to the toolchain.  Deterministic,
+    and independent of any [Machine.config]: one artifact serves every
+    tracing/I/O/fault configuration. *)
+
+val clear_memory_cache : unit -> unit
+(** Drop the in-process factory memo (test hook: forces the next {!create} to
+    go back to the disk cache and Dynlink again). *)
+
+val create :
+  ?config:Asim_sim.Machine.config ->
+  ?tracer:Asim_obs.Tracer.t ->
+  ?cache_dir:string ->
+  Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t
+(** Build (or reuse) the compiled plugin for this spec and wire it into a
+    {!Asim_sim.Machine.t}.  Emits [codegen.native.compile] and
+    [codegen.native.dynlink] spans (with [cache=hit|miss] args) on [tracer].
+    Raises [Asim_core.Error.Error] with phase [Runtime] when no toolchain is
+    available or the out-of-process compile fails. *)
+
+val of_spec :
+  ?config:Asim_sim.Machine.config ->
+  ?tracer:Asim_obs.Tracer.t ->
+  ?cache_dir:string ->
+  Asim_core.Spec.t ->
+  Asim_sim.Machine.t

@@ -1,0 +1,4 @@
+(* Re-export so hosts can say [Asim_jit.Runtime]; the standalone
+   [Asim_jit_runtime] library exists because generated plugins must compile
+   against exactly one .cmi. *)
+include Asim_jit_runtime

@@ -1,0 +1,44 @@
+(* The rendezvous between the host and a Dynlinked plugin.
+
+   A generated plugin module is compiled against this interface alone (its
+   [.cmi] is the only compile-time dependency we hand the toolchain), so the
+   record below must stay stdlib-typed: every engine-specific behavior —
+   tracing, memory-mapped I/O, fault injection, runtime errors — enters the
+   generated code as a host-provided closure or preallocated array.  That is
+   what keeps the native engine observably identical to the interpreted ones:
+   the plugin owns only the arithmetic; the host owns every side effect.
+
+   The plugin's last toplevel definition is [register make]; the host calls
+   [take] immediately after [Dynlink.loadfile_private] to claim the factory.
+   Single-slot hand-off is safe because the loader serializes loads under a
+   lock. *)
+
+type ctx = {
+  vals : int array;  (** one slot per component output, spec order *)
+  cells : int array;  (** all memories' cells, concatenated *)
+  faulted : bool array;  (** per component slot: is it a fault target? *)
+  fault : int -> int -> int;  (** slot -> value -> possibly-faulted value *)
+  io_input : int -> int;  (** address -> data (memory-mapped input) *)
+  io_output : int -> int -> unit;  (** address -> data -> () *)
+  trace_active : bool;  (** false when the trace sink is the null sink *)
+  trace_cycle : unit -> unit;  (** emit the per-cycle register trace line *)
+  trace_write : int -> int -> int -> unit;  (** memory index, address, data *)
+  trace_read : int -> int -> int -> unit;  (** memory index, address, data *)
+  reads : int array;  (** per memory index: read-op counter *)
+  writes : int array;
+  inputs : int array;
+  outputs : int array;
+  sel_error : int -> int -> int -> int;
+      (** slot, index, case count; raises the selector range error *)
+  addr_error : int -> int -> unit;
+      (** memory index, address; raises the address range error *)
+}
+
+let pending : (ctx -> unit -> unit) option ref = ref None
+
+let register make = pending := Some make
+
+let take () =
+  let f = !pending in
+  pending := None;
+  f

@@ -1,0 +1,35 @@
+(** Host/plugin rendezvous for the native-compiled engine.
+
+    Generated plugins are compiled against this interface only, so it is
+    deliberately stdlib-typed: arrays for the hot state and counters, plain
+    closures for every side effect (tracing, I/O, faults, runtime errors).
+    The host builds a {!ctx}, Dynlinks the plugin, and claims the step-function
+    factory the plugin deposited with {!register}. *)
+
+type ctx = {
+  vals : int array;  (** one slot per component output, spec order *)
+  cells : int array;  (** all memories' cells, concatenated *)
+  faulted : bool array;  (** per component slot: is it a fault target? *)
+  fault : int -> int -> int;  (** slot -> value -> possibly-faulted value *)
+  io_input : int -> int;  (** address -> data (memory-mapped input) *)
+  io_output : int -> int -> unit;  (** address -> data -> () *)
+  trace_active : bool;  (** false when the trace sink is the null sink *)
+  trace_cycle : unit -> unit;  (** emit the per-cycle register trace line *)
+  trace_write : int -> int -> int -> unit;  (** memory index, address, data *)
+  trace_read : int -> int -> int -> unit;  (** memory index, address, data *)
+  reads : int array;  (** per memory index: read-op counter *)
+  writes : int array;
+  inputs : int array;
+  outputs : int array;
+  sel_error : int -> int -> int -> int;
+      (** slot, index, case count; raises the selector range error *)
+  addr_error : int -> int -> unit;
+      (** memory index, address; raises the address range error *)
+}
+
+val register : (ctx -> unit -> unit) -> unit
+(** Called by the plugin's toplevel initializer to deposit its step-function
+    factory. *)
+
+val take : unit -> (ctx -> unit -> unit) option
+(** Claim (and clear) the most recently registered factory. *)

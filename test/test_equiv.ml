@@ -23,8 +23,15 @@ let arbitrary_spec = QCheck.make ~print:Pretty.spec (Gen.spec narrow)
 
 let arbitrary_spec_wide = QCheck.make ~print:Pretty.spec (Gen.spec wide)
 
+(* The QCheck campaigns run the oracle on hundreds of distinct random
+   specs; the native engine would pay a fresh compiler invocation for
+   every one of them.  It is excluded here and covered by its own
+   differential tests in test_jit.ml and by test_flat's fixed-seed sweep
+   through [Oracle.all]. *)
+let fast_engines = List.filter (fun e -> e <> Oracle.Native) Oracle.all
+
 let no_divergence spec =
-  match Oracle.check ~engines:Oracle.all spec with
+  match Oracle.check ~engines:fast_engines spec with
   | None -> true
   | Some d -> QCheck.Test.fail_reportf "%s" (Oracle.divergence_to_string d)
 
@@ -135,7 +142,7 @@ let test_injected_bug_is_caught_and_shrunk () =
 (* The shrinker never returns a spec that stopped diverging or does not
    analyze. *)
 let test_shrink_preserves_property () =
-  let engines = Oracle.all @ [ Oracle.Buggy ] in
+  let engines = fast_engines @ [ Oracle.Buggy ] in
   let keep s = Oracle.check ~engines s <> None in
   let checked = ref 0 in
   for index = 0 to 99 do
