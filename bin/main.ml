@@ -56,9 +56,11 @@ let engine_arg =
         ~doc:
           "Simulation engine: $(b,interp) (the ASIM baseline), $(b,compiled) \
            (ASIM II), $(b,flat) (int-coded flat kernel with activity-driven \
-           scheduling) or $(b,native) (spec compiled to an OCaml module by \
+           scheduling), $(b,native) (spec compiled to an OCaml module by \
            the host toolchain and Dynlinked in; needs ocamlfind/ocamlopt on \
-           PATH).")
+           PATH) or $(b,tiered) (starts on $(b,flat), compiles in a \
+           background domain and hot-swaps to $(b,native) at a cycle \
+           boundary; runs entirely on $(b,flat) when no toolchain answers).")
 
 let trace_out_arg =
   Arg.(
@@ -180,8 +182,15 @@ let run_cmd =
     print_warnings analysis;
     let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
     let config = { Asim.Machine.default_config with trace; faults } in
-    let machine, build_s =
-      timed "pipeline.build" (fun () -> Asim.machine ~config ~engine ~tracer analysis)
+    let (machine, tiered_status), build_s =
+      (* The tiered engine is built through [create_status] so --stats-json
+         can record how the swap resolved (swapped/pending/unavailable/...). *)
+      timed "pipeline.build" (fun () ->
+          match engine with
+          | Asim.TieredEngine ->
+              let m, status = Asim.Tiered.create_status ~config ~tracer analysis in
+              (m, Some status)
+          | _ -> (Asim.machine ~config ~engine ~tracer analysis, None))
     in
     let cycles =
       match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:0
@@ -260,6 +269,24 @@ let run_cmd =
                     ("run_s", Float run_s);
                   ] );
             ]
+        in
+        let json =
+          match (json, tiered_status) with
+          | Obj fields, Some status ->
+              let s = status () in
+              Obj
+                (fields
+                @ [
+                    ( "swap",
+                      String (Asim.Tiered.swap_state_to_string s.Asim.Tiered.state)
+                    );
+                    ( "swap_cycle",
+                      match s.Asim.Tiered.state with
+                      | Asim.Tiered.Swapped c -> Int c
+                      | _ -> Null );
+                    ("executing_engine", String s.Asim.Tiered.engine);
+                  ])
+          | _ -> json
         in
         write_text_file out (to_string json ^ "\n"));
     write_trace trace_out tracer
@@ -759,9 +786,10 @@ let fuzz_cmd =
           ~doc:
             "Comma-separated engines to compare (first is the reference): \
              $(b,interp), $(b,compiled), $(b,unoptimized), $(b,lowered), \
-             $(b,flat), $(b,flat-full), $(b,native), $(b,buggy).  \
-             $(b,native) is dropped with a warning when no OCaml toolchain \
-             answers on PATH.")
+             $(b,flat), $(b,flat-full), $(b,native), $(b,tiered), \
+             $(b,buggy).  $(b,native) is dropped with a warning when no \
+             OCaml toolchain answers on PATH ($(b,tiered) stays: it \
+             degrades to flat-only with identical observables).")
   in
   let artifacts_arg =
     Arg.(

@@ -22,6 +22,7 @@ module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
 module Jit = Asim_jit.Jit
+module Tiered = Asim_tiered.Tiered
 module Specs = Specs
 
 type engine =
@@ -29,6 +30,7 @@ type engine =
   | Compiled
   | FlatKernel
   | Native
+  | TieredEngine
 
 let engine_of_string s =
   match String.lowercase_ascii s with
@@ -36,6 +38,7 @@ let engine_of_string s =
   | "compiled" | "compile" | "asim2" | "asimii" -> Some Compiled
   | "flat" | "flat-kernel" | "flatkernel" -> Some FlatKernel
   | "native" | "jit" -> Some Native
+  | "tiered" | "tier" -> Some TieredEngine
   | _ -> None
 
 let engine_to_string = function
@@ -43,6 +46,7 @@ let engine_to_string = function
   | Compiled -> "compiled"
   | FlatKernel -> "flat"
   | Native -> "native"
+  | TieredEngine -> "tiered"
 
 let load_string source = Analysis.analyze (Parser.parse_string source)
 
@@ -54,6 +58,7 @@ let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer analysis =
   | Compiled -> Compile.create ?config ?optimize analysis
   | FlatKernel -> Flat.create ?config ?schedule ?tracer analysis
   | Native -> Jit.create ?config ?tracer analysis
+  | TieredEngine -> Tiered.create ?config ?tracer analysis
 
 let run_analysis ?config ?engine ?cycles analysis =
   let m = machine ?config ?engine analysis in

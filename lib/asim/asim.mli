@@ -26,6 +26,7 @@ module Interp = Asim_interp.Interp
 module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
 module Jit = Asim_jit.Jit
+module Tiered = Asim_tiered.Tiered
 
 module Specs : module type of Specs
 (** Embedded example specifications. *)
@@ -34,16 +35,19 @@ module Specs : module type of Specs
     [Compiled] is the ASIM II contribution; [FlatKernel] is the int-coded
     flat program with activity-driven scheduling ({!Flat}); [Native] is the
     Dynlink-JIT over the codegen backend ({!Jit} — needs an OCaml toolchain
-    on PATH). *)
+    on PATH); [TieredEngine] starts on the flat kernel and hot-swaps to the
+    native engine at a cycle boundary once a background compile finishes
+    ({!Tiered} — degrades to flat-only without a toolchain). *)
 type engine =
   | Interpreter
   | Compiled
   | FlatKernel
   | Native
+  | TieredEngine
 
 val engine_of_string : string -> engine option
-(** ["interp"]/["asim"], ["compiled"]/["asim2"], ["flat"] and
-    ["native"]/["jit"] (case-insensitive). *)
+(** ["interp"]/["asim"], ["compiled"]/["asim2"], ["flat"],
+    ["native"]/["jit"] and ["tiered"] (case-insensitive). *)
 
 val engine_to_string : engine -> string
 

@@ -15,7 +15,14 @@
     correctness witness travel together.
 
     The native engine is benched against a fresh empty artifact cache, so
-    its [build_s] is an honest cold generate+compile+dynlink. *)
+    its [build_s] is an honest cold generate+compile+dynlink.
+
+    The tiered engine gets two rows.  ["tiered"] is fully cold on every
+    rep (empty artifact cache and in-process memo, default [Auto] policy):
+    the acceptance claim tiered ≈ max(flat, native) including prep, as a
+    user hits it the first time.  ["tiered-warm"] (toolchain only) reuses
+    the artifact the native row compiled, so the machine swaps at cycle 0
+    — the steady state the content-addressed cache buys across runs. *)
 
 type engine_run = {
   engine : string;  (** oracle engine name, e.g. ["flat"] *)
@@ -39,6 +46,10 @@ type workload = {
   agreement : string option;
       (** [None] when every engine agreed on the differential check;
           [Some divergence] otherwise *)
+  tiered_swap : string;
+      (** how the cold tiered row's swap resolved at this cycle budget
+          (["pending"] below the [Auto] spawn threshold, ["swapped"] past
+          it, ["unavailable"] without a toolchain) *)
   engines : engine_run list;
 }
 
@@ -63,6 +74,11 @@ val amortization_cycles : workload -> string -> float option
 (** Cycles after which the engine's extra prep over the interpreter is
     repaid by its faster per-cycle rate.  [Some 0.] when prep is not more
     expensive; [None] when the engine is no faster per cycle. *)
+
+val tiered_vs_best : workload -> float option
+(** The cold tiered row's prep-inclusive speedup divided by the better of
+    flat's and native's — tiered ≈ max(flat, native) as a single number,
+    with 0.95 the accepted floor. *)
 
 val agree : t -> bool
 (** All workloads passed the differential check. *)

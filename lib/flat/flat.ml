@@ -374,7 +374,9 @@ let program_size ?peephole analysis =
 
 (* --- the machine -------------------------------------------------------- *)
 
-let create_debug ?(config = Machine.default_config) ?(schedule = Activity)
+type state = { s_vals : int array; s_cells : int array }
+
+let create_full ?(config = Machine.default_config) ?(schedule = Activity)
     ?(tracer = Asim_obs.Tracer.null) ?peephole
     (analysis : Asim_analysis.Analysis.t) =
   let module T = Asim_obs.Tracer in
@@ -633,7 +635,16 @@ let create_debug ?(config = Machine.default_config) ?(schedule = Activity)
     }
   in
   let counts () = List.init ncomb (fun i -> (names.(comb_id.(i)), evals.(i))) in
+  (machine, counts, { s_vals = vals; s_cells = cells })
+
+let create_debug ?config ?schedule ?tracer ?peephole analysis =
+  let machine, counts, _ = create_full ?config ?schedule ?tracer ?peephole analysis in
   (machine, counts)
 
+let create_exposed ?config ?schedule ?tracer ?peephole analysis =
+  let machine, _, state = create_full ?config ?schedule ?tracer ?peephole analysis in
+  (machine, state)
+
 let create ?config ?schedule ?tracer ?peephole analysis =
-  fst (create_debug ?config ?schedule ?tracer ?peephole analysis)
+  let machine, _, _ = create_full ?config ?schedule ?tracer ?peephole analysis in
+  machine

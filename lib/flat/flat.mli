@@ -67,6 +67,29 @@ val create_debug :
     every count equals the cycle count.  For tests and the benchmark
     harness's skip-rate metric. *)
 
+(** The engine's mutable core, exposed for the tiered engine's hot-swap:
+    [s_vals] holds one slot per component in specification order (the same
+    layout {!Asim_jit.Jit} generates against), [s_cells] every memory's
+    cells concatenated in [Analysis.memories] declaration order.  A machine
+    built over these arrays by another engine observes — and continues —
+    the exact simulation state. *)
+type state = { s_vals : int array; s_cells : int array }
+
+val create_exposed :
+  ?config:Asim_sim.Machine.config ->
+  ?schedule:schedule ->
+  ?tracer:Asim_obs.Tracer.t ->
+  ?peephole:bool ->
+  Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t * state
+(** Like {!create}, but also hands back the machine's live state arrays.
+    At a cycle boundary the arrays (plus [Machine.stats] and the cycle
+    count) are the machine's entire future-determining state: the
+    combinational slots are recomputed from scratch at the top of every
+    cycle, and the latched address/op temporaries never cross a boundary —
+    which is what makes the tiered engine's pointer-exchange handoff
+    sound. *)
+
 val program_size : ?peephole:bool -> Asim_analysis.Analysis.t -> int
 (** Number of instruction words the flat program for this spec occupies —
     a compile-time metric (reported by benchmarks, no machine built).

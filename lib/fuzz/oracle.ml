@@ -9,12 +9,18 @@ type engine =
   | Flat
   | FlatFull
   | Native
+  | Tiered
   | Buggy
 
-let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull; Native ]
+(* [Tiered] sits after [Native] so a toolchain-equipped campaign's native
+   observation has already populated the in-process plugin memo: the tiered
+   machine then swaps at cycle 0 without spawning a compile domain. *)
+let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull; Native; Tiered ]
 
 (* [Native] shells out to the host toolchain; a campaign on a box without one
-   should drop the engine (with a warning) rather than abort. *)
+   should drop the engine (with a warning) rather than abort.  [Tiered] is
+   always available: without a toolchain it degrades to flat-only with the
+   same observables. *)
 let available = function Native -> Asim_jit.Jit.available () | _ -> true
 
 let engine_to_string = function
@@ -25,6 +31,7 @@ let engine_to_string = function
   | Flat -> "flat"
   | FlatFull -> "flat-full"
   | Native -> "native"
+  | Tiered -> "tiered"
   | Buggy -> "buggy"
 
 let engine_of_string s =
@@ -36,6 +43,7 @@ let engine_of_string s =
   | "flat" -> Some Flat
   | "flat-full" | "flat_full" | "flatfull" -> Some FlatFull
   | "native" | "jit" -> Some Native
+  | "tiered" | "tier" -> Some Tiered
   | "buggy" -> Some Buggy
   | _ -> None
 
@@ -59,6 +67,14 @@ let build engine ~config (analysis : Asim_analysis.Analysis.t) =
   | Flat -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Activity analysis
   | FlatFull -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Full analysis
   | Native -> Asim_jit.Jit.create ~config analysis
+  | Tiered ->
+      (* The swap policy comes from ASIM_TIERED_SWAP_AT when set (how the
+         swap-point harness forces adversarial handoffs), else [Auto] —
+         correctness must be swap-timing invariant either way.  The
+         no-toolchain warning is silenced: a campaign would repeat it per
+         observation and it is already reported once by the default
+         warner. *)
+      Asim_tiered.Tiered.create ~config ~on_warning:ignore analysis
   | Buggy ->
       Asim_compile.Compile.create ~config
         (Asim_analysis.Analysis.analyze

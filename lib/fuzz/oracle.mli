@@ -16,14 +16,19 @@ type engine =
   | Native
       (** the native-compiled engine ([Asim_jit.Jit]): spec lowered to an
           OCaml module, compiled by the host toolchain and Dynlinked in *)
+  | Tiered
+      (** the tiered engine ([Asim_tiered.Tiered]): flat kernel first, with
+          a background-compiled hot-swap to native at a cycle boundary;
+          degrades to flat-only without a toolchain, so it is always
+          available *)
   | Buggy
       (** [Compiled] over a deliberately corrupted spec (every constant
           ALU-function 4/add becomes 5/sub) — a fault-injected engine for
           exercising the oracle and shrinker end to end *)
 
 val all : engine list
-(** The seven honest engines: [Interp] (the reference), [Compiled],
-    [Unoptimized], [Lowered], [Flat], [FlatFull], [Native]. *)
+(** The eight honest engines: [Interp] (the reference), [Compiled],
+    [Unoptimized], [Lowered], [Flat], [FlatFull], [Native], [Tiered]. *)
 
 val available : engine -> bool
 (** Whether the engine can run here at all.  Only [Native] can be

@@ -141,16 +141,23 @@ let test_cache_failure_retries () =
   Alcotest.(check int) "two computes total" 2 !attempts
 
 let test_cache_single_flight () =
-  (* Four domains race on one cold key: exactly one compute runs. *)
+  (* Four domains race on one cold key: exactly one compute runs.  The
+     compute holds the in-flight entry open until every domain has reached
+     [find_or_compute] — a deterministic race window (no wall-clock sleep):
+     all four arrivals are guaranteed to land while the key is cold or
+     in flight. *)
   let c = Cache.create ~capacity:4 in
   let computes = Atomic.make 0 in
+  let arrived = Atomic.make 0 in
   let domains =
     List.init 4 (fun _ ->
         Domain.spawn (fun () ->
+            Atomic.incr arrived;
             Cache.find_or_compute c ~key:"shared" (fun () ->
                 Atomic.incr computes;
-                (* widen the race window *)
-                Unix.sleepf 0.01;
+                while Atomic.get arrived < 4 do
+                  Domain.cpu_relax ()
+                done;
                 "value")))
   in
   let results = List.map Domain.join domains in
@@ -163,7 +170,38 @@ let test_cache_single_flight () =
 (* --- pool ------------------------------------------------------------------- *)
 
 let test_pool_ordered_emission () =
-  (* Jobs finish out of order (later jobs sleep less) but must emit in order. *)
+  (* Jobs finish in deliberately reversed order, but must emit in submission
+     order.  With 4 workers and 4 jobs, every job runs concurrently; Atomic
+     flags force job 3 to complete first, then 2, 1, 0 — a deterministic
+     out-of-order completion, no wall-clock sleeps. *)
+  let emitted = ref [] in
+  let completed = Array.init 4 (fun _ -> Atomic.make false) in
+  let pool =
+    Pool.create ~jobs:4
+      ~on_crash:(fun _ exn -> raise exn)
+      ~emit:(fun index r -> emitted := (index, r) :: !emitted)
+  in
+  for i = 0 to 3 do
+    Pool.submit pool (fun index ->
+        (* wait until every later-submitted job has finished its compute *)
+        for later = i + 1 to 3 do
+          while not (Atomic.get completed.(later)) do
+            Domain.cpu_relax ()
+          done
+        done;
+        Atomic.set completed.(i) true;
+        index * 10)
+  done;
+  Alcotest.(check int) "all processed" 4 (Pool.finish pool);
+  let emitted = List.rev !emitted in
+  Alcotest.(check (list (pair int int))) "consecutive indices, computed results"
+    (List.init 4 (fun i -> (i, i * 10)))
+    emitted
+
+let test_pool_ordered_emission_realtime () =
+  (* The one real-time smoke: finish order scrambled by actual sleeps,
+     emission order still strict.  Kept tiny so a slow box cannot make it
+     flaky — the deterministic variant above carries the ordering logic. *)
   let emitted = ref [] in
   let pool =
     Pool.create ~jobs:4
@@ -412,6 +450,8 @@ let () =
       ( "pool",
         [
           Alcotest.test_case "ordered emission" `Quick test_pool_ordered_emission;
+          Alcotest.test_case "ordered emission (real-time smoke)" `Quick
+            test_pool_ordered_emission_realtime;
           Alcotest.test_case "crash isolation" `Quick test_pool_crash_isolation;
           Alcotest.test_case "sync mode" `Quick test_pool_sync_is_immediate;
         ] );

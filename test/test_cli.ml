@@ -26,8 +26,10 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-(* Run the CLI; returns (exit_code, combined stdout+stderr). *)
-let run_cli ?stdin_text args =
+(* Run the CLI; returns (exit_code, combined stdout+stderr).  [env] is a
+   space-separated list of VAR=value assignments applied to the child only
+   (an empty value like PATH= clears the variable). *)
+let run_cli ?(env = "") ?stdin_text args =
   let out = Filename.temp_file "asim-cli" ".out" in
   let stdin_redirect =
     match stdin_text with
@@ -38,8 +40,9 @@ let run_cli ?stdin_text args =
         "< " ^ Filename.quote path
   in
   let cmd =
-    Printf.sprintf "%s %s %s > %s 2>&1" (Filename.quote binary) args stdin_redirect
-      (Filename.quote out)
+    Printf.sprintf "%s%s %s %s > %s 2>&1"
+      (if env = "" then "" else "env " ^ env ^ " ")
+      (Filename.quote binary) args stdin_redirect (Filename.quote out)
   in
   let code = Sys.command cmd in
   let text = read_file out in
@@ -544,6 +547,73 @@ let test_serve_metrics_request () =
               "asim_cache_capacity 64";
             ])
 
+(* --- the tiered engine through the CLI -------------------------------------- *)
+
+let count_occurrences haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i acc =
+    if i + nl > hl then acc
+    else if String.sub haystack i nl = needle then go (i + nl) (acc + 1)
+    else go (i + 1) acc
+  in
+  go 0 0
+
+let stats_field stats name =
+  Option.bind
+    (Asim_batch.Json.member name (Asim_batch.Json.parse (read_file stats)))
+    Asim_batch.Json.to_string_opt
+
+(* A forced swap (the ASIM_TIERED_SWAP_AT hook) must leave the trace
+   byte-identical to the flat engine's and record the handoff in the stats
+   JSON. *)
+let test_tiered_forced_swap () =
+  with_spec counter (fun path ->
+      in_temp ".stats" (fun stats ->
+          let _, flat = run_cli (Printf.sprintf "run %s -e flat" (Filename.quote path)) in
+          let code, tiered =
+            run_cli ~env:"ASIM_TIERED_SWAP_AT=3"
+              (Printf.sprintf "run %s -e tiered --stats-json %s"
+                 (Filename.quote path) (Filename.quote stats))
+          in
+          Alcotest.(check int) "exit" 0 code;
+          Alcotest.(check string) "trace identical to flat" flat tiered;
+          let j = Asim_batch.Json.parse (read_file stats) in
+          if Asim.Jit.available () then begin
+            Alcotest.(check (option string)) "swap recorded" (Some "swapped")
+              (stats_field stats "swap");
+            Alcotest.(check (option int)) "swap cycle" (Some 3)
+              (Option.bind (Asim_batch.Json.member "swap_cycle" j)
+                 Asim_batch.Json.to_int);
+            Alcotest.(check (option string)) "executing engine" (Some "native")
+              (stats_field stats "executing_engine")
+          end))
+
+(* Without a toolchain on PATH, `-e tiered` must run to completion on the
+   flat kernel, warn exactly once (never per cycle), and record
+   swap=unavailable. *)
+let test_tiered_no_toolchain () =
+  with_spec counter (fun path ->
+      in_temp ".stats" (fun stats ->
+          let _, flat = run_cli (Printf.sprintf "run %s -e flat" (Filename.quote path)) in
+          let code, tiered =
+            run_cli ~env:"PATH="
+              (Printf.sprintf "run %s -e tiered --stats-json %s"
+                 (Filename.quote path) (Filename.quote stats))
+          in
+          Alcotest.(check int) "degraded run still exits 0" 0 code;
+          Alcotest.(check int) "exactly one warning" 1
+            (count_occurrences tiered "no OCaml toolchain");
+          let warning_stripped =
+            String.split_on_char '\n' tiered
+            |> List.filter (fun l -> not (contains l "no OCaml toolchain"))
+            |> String.concat "\n"
+          in
+          Alcotest.(check string) "trace identical to flat" flat warning_stripped;
+          Alcotest.(check (option string)) "swap unavailable" (Some "unavailable")
+            (stats_field stats "swap");
+          Alcotest.(check (option string)) "stays on flat" (Some "flat")
+            (stats_field stats "executing_engine")))
+
 let test_errors () =
   let code, _ = run_cli "run /nonexistent/file.asim" in
   Alcotest.(check bool) "missing file fails" true (code <> 0);
@@ -593,6 +663,9 @@ let () =
           Alcotest.test_case "batch trace" `Quick test_batch_trace;
           Alcotest.test_case "fuzz trace" `Quick test_fuzz_trace;
           Alcotest.test_case "serve metrics request" `Quick test_serve_metrics_request;
+          Alcotest.test_case "tiered forced swap" `Quick test_tiered_forced_swap;
+          Alcotest.test_case "tiered without a toolchain" `Quick
+            test_tiered_no_toolchain;
           Alcotest.test_case "errors" `Quick test_errors;
         ] );
     ]
