@@ -384,7 +384,62 @@ let figure_levels () =
    executed at increasing pool widths.  Records jobs/sec, speedup vs one
    domain, and the compiled-spec cache hit rate to BENCH_batch.json, and
    checks that every width produces byte-identical result lines. *)
-let figure_batch () =
+(* Serve under load: an in-process TCP server (hash-sharded worker
+   domains, content-addressed spec store) driven by the load generator at
+   256 concurrent connections.  Every connection uploads the counter spec
+   (deduplicated to one store entry), then pipelines submit-by-hash jobs;
+   the report proves zero dropped or duplicated replies and records the
+   shard-cache hit rate those jobs enjoyed. *)
+let figure_serve () =
+  hr "Extension — serve under load: 256 TCP connections, submit-by-hash";
+  let cores_online = Domain.recommended_domain_count () in
+  let shards = max 1 (min 4 cores_online) in
+  (* queue depth sized for the full offered load: this figure measures
+     sustained throughput and latency, not the backpressure path (which
+     test/test_serve.ml exercises on a deliberately tiny queue) *)
+  let config =
+    {
+      Asim_serve.Server.default_config with
+      Asim_serve.Server.shards;
+      queue_depth = 2048;
+    }
+  in
+  let server = Asim_serve.Server.create ~config () in
+  let port =
+    Asim_serve.Server.listen server (Unix.ADDR_INET (Unix.inet_addr_loopback, 0))
+  in
+  let th = Thread.create Asim_serve.Server.serve server in
+  let report =
+    Asim_serve.Loadgen.run
+      {
+        Asim_serve.Loadgen.default_config with
+        Asim_serve.Loadgen.port;
+        connections = 256;
+        jobs_per_connection = 4;
+        cycles = Some 2000;
+      }
+  in
+  Asim_serve.Server.shutdown server;
+  Thread.join th;
+  print_string (Asim_serve.Loadgen.report_to_string report);
+  Printf.printf "(%d shard domain(s), %d core(s) online)\n" shards cores_online;
+  if
+    report.Asim_serve.Loadgen.dropped > 0
+    || report.Asim_serve.Loadgen.duplicates > 0
+  then prerr_endline "WARNING: serve load run dropped or duplicated results";
+  Asim_batch.Json.Obj
+    [
+      ("spec", Asim_batch.Json.String "counter");
+      ("cycles_per_job", Asim_batch.Json.Int 2000);
+      ("shards", Asim_batch.Json.Int shards);
+      ("cores_online", Asim_batch.Json.Int cores_online);
+      (* throughput on a starved core count is load-test plumbing, not a
+         scaling claim — same honesty rule as the batch rows *)
+      ("scaling_valid", Asim_batch.Json.Bool (cores_online > 1));
+      ("loadgen", Asim_serve.Loadgen.report_to_json report);
+    ]
+
+let figure_batch ?serve () =
   hr "Extension — batch throughput: 64 sieve jobs across worker domains";
   let job_count = 64 in
   let manifest =
@@ -463,7 +518,7 @@ let figure_batch () =
   let cores_online = Domain.recommended_domain_count () in
   let json =
     Asim_batch.Json.Obj
-      [
+      ([
         ("spec", Asim_batch.Json.String "stack-machine-sieve");
         ("engine", Asim_batch.Json.String "compiled");
         ("jobs", Asim_batch.Json.Int job_count);
@@ -506,6 +561,7 @@ let figure_batch () =
               ("span_count", Asim_batch.Json.Int !span_count);
             ] );
       ]
+      @ match serve with Some j -> [ ("serve", j) ] | None -> [])
   in
   let oc = open_out "BENCH_batch.json" in
   output_string oc (Asim_batch.Json.to_string json);
@@ -643,7 +699,7 @@ let () =
   let quick = Array.exists (fun a -> a = "quick") Sys.argv in
   let batch_only = Array.exists (fun a -> a = "batch") Sys.argv in
   let engines_only = Array.exists (fun a -> a = "engines") Sys.argv in
-  if batch_only then figure_batch ()
+  if batch_only then figure_batch ~serve:(figure_serve ()) ()
   else if engines_only then figure_engines ()
   else begin
     figure_3_1 ();
@@ -654,7 +710,7 @@ let () =
     figure_ablation ();
     figure_scaling ();
     figure_levels ();
-    figure_batch ();
+    figure_batch ~serve:(figure_serve ()) ();
     figure_engines ();
     if not quick then run_bechamel ()
   end;

@@ -919,70 +919,91 @@ let batch_cmd =
       $ no_metrics_arg $ trace_out_arg)
 
 let serve_cmd =
-  let run jobs cache_capacity socket no_metrics metrics_file metrics_interval =
-    let t = Asim_batch.Runner.create ~cache_capacity () in
-    let t0 = Obs_clock.now () in
+  let run jobs cache_capacity socket tcp host port_file no_metrics metrics_file
+      metrics_interval queue_depth max_in_flight max_line_bytes store_capacity
+      timeout_s trace_out =
+    let tracer = tracer_for trace_out in
+    let config =
+      {
+        Asim_serve.Server.shards = jobs;
+        cache_capacity;
+        queue_depth;
+        max_in_flight;
+        max_line_bytes;
+        store_capacity;
+        default_timeout_s = timeout_s;
+        tracer;
+      }
+    in
+    let server = Asim_serve.Server.create ~config () in
     (match metrics_file with
     | None -> ()
     | Some path ->
-        (* Periodic Prometheus scrape target: write to a sidecar file on an
-           interval (write-then-rename so scrapers never see a torn file).
-           The domain dies with the process — serve runs until killed. *)
-        let interval = Float.max 0.1 metrics_interval in
-        ignore
-          (Domain.spawn (fun () ->
-               let rec loop () =
-                 Unix.sleepf interval;
-                 (try
-                    let tmp = path ^ ".tmp" in
-                    write_text_file tmp (Asim_batch.Runner.prometheus t);
-                    Sys.rename tmp path
-                  with Sys_error _ -> ());
-                 loop ()
-               in
-               loop ())
-            : unit Domain.t));
-    (* One session per stream; the runner (cache + metrics) outlives it, so
-       a long-lived server amortizes compilation across connections. *)
-    let session ic oc =
-      let next () = try Some (input_line ic) with End_of_file -> None in
-      let emit line =
-        output_string oc line;
-        output_char oc '\n';
-        flush oc
-      in
-      let _jobs_run = Asim_batch.Runner.process t ~jobs ~next ~emit in
+        Asim_serve.Server.metrics_file server ~path
+          ~interval:(Float.max 0.1 metrics_interval));
+    (* SIGINT/SIGTERM drain in-flight jobs, flush a final metrics snapshot
+       and exit 0; Server.shutdown is safe to call from a handler. *)
+    let handler = Sys.Signal_handle (fun _ -> Asim_serve.Server.shutdown server) in
+    (try Sys.set_signal Sys.sigint handler with Invalid_argument _ | Sys_error _ -> ());
+    (try Sys.set_signal Sys.sigterm handler with Invalid_argument _ | Sys_error _ -> ());
+    let finish () =
+      Asim_serve.Server.drain server;
+      write_trace trace_out tracer;
       if not no_metrics then
-        prerr_string
-          (Asim_batch.Metrics.to_string
-             (Asim_batch.Runner.summary t ~wall_s:(Obs_clock.now () -. t0)))
+        prerr_string (Asim_batch.Metrics.to_string (Asim_serve.Server.summary server))
     in
-    match socket with
-    | None -> session stdin stdout
-    | Some path ->
-        if Sys.file_exists path then Sys.remove path;
-        let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-        Unix.bind sock (Unix.ADDR_UNIX path);
-        Unix.listen sock 8;
-        Printf.eprintf "asim serve: listening on %s\n%!" path;
-        let rec accept_loop () =
-          let fd, _ = Unix.accept sock in
-          let ic = Unix.in_channel_of_descr fd in
-          let oc = Unix.out_channel_of_descr fd in
-          (try session ic oc with Sys_error _ | End_of_file -> ());
-          (try flush oc with Sys_error _ -> ());
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          accept_loop ()
+    match (tcp, socket) with
+    | Some port, _ ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ ->
+            prerr_endline ("asim: bad --host address " ^ host);
+            exit 2
         in
-        accept_loop ()
+        let port = Asim_serve.Server.listen server (Unix.ADDR_INET (addr, port)) in
+        Printf.eprintf "asim serve: listening on %s:%d (%d shards)\n%!" host port
+          jobs;
+        (match port_file with
+        | Some path -> write_text_file path (string_of_int port ^ "\n")
+        | None -> ());
+        Asim_serve.Server.serve server;
+        finish ()
+    | None, Some path ->
+        ignore (Asim_serve.Server.listen server (Unix.ADDR_UNIX path));
+        Printf.eprintf "asim serve: listening on %s (%d shards)\n%!" path jobs;
+        Asim_serve.Server.serve server;
+        finish ()
+    | None, None ->
+        (* the stdio loop is the same core with one attached client *)
+        Asim_serve.Server.attach server Unix.stdin Unix.stdout;
+        finish ()
   in
   let socket_arg =
     Arg.(
       value & opt (some string) None
       & info [ "socket" ] ~docv:"PATH"
           ~doc:
-            "Listen on a Unix socket instead of stdin/stdout; each connection is \
-             one JSONL job stream (the cache persists across connections).")
+            "Listen on a Unix socket instead of stdin/stdout; connections are \
+             served concurrently and share the spec store and shard caches.")
+  in
+  let tcp_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "tcp" ] ~docv:"PORT"
+          ~doc:
+            "Listen on a TCP port (0 picks a free one; the bound port is \
+             printed on stderr).  Takes precedence over $(b,--socket).")
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Address to bind $(b,--tcp) on.")
+  in
+  let port_file_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "port-file" ] ~docv:"FILE"
+          ~doc:"Write the bound TCP port to FILE (for scripts and CI).")
   in
   let metrics_file_arg =
     Arg.(
@@ -999,14 +1020,167 @@ let serve_cmd =
       & info [ "metrics-interval" ] ~docv:"SECONDS"
           ~doc:"Seconds between $(b,--metrics-file) writes (default 10).")
   in
+  let queue_depth_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "queue-depth" ] ~docv:"N"
+          ~doc:
+            "Jobs a shard will queue before answering $(b,overload) (explicit \
+             backpressure).")
+  in
+  let max_in_flight_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "max-in-flight" ] ~docv:"N"
+          ~doc:"Unanswered jobs one client may have before being $(b,rejected).")
+  in
+  let max_line_bytes_arg =
+    Arg.(
+      value & opt int (1 lsl 20)
+      & info [ "max-line-bytes" ] ~docv:"N"
+          ~doc:"Longest accepted request line; longer lines get an error reply.")
+  in
+  let store_capacity_arg =
+    Arg.(
+      value & opt int 1024
+      & info [ "store-capacity" ] ~docv:"N"
+          ~doc:"Specs held by the content-addressed upload store.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "timeout-s" ] ~docv:"SECONDS"
+          ~doc:
+            "Default per-job wall-clock budget for jobs that set none \
+             (cooperative: long simulations stop at a cycle boundary).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Long-running job service: read JSONL jobs from stdin (or a Unix socket) \
-          and stream results back in job order.")
+         "The simulation service: accept JSONL jobs on stdin, a Unix socket or \
+          a TCP port; route them to hash-sharded worker domains with warm \
+          compiled-spec caches; stream results back in completion order.  \
+          Specs can be uploaded once ($(b,{\"control\":\"upload\",...})) and \
+          submitted by hash.  SIGINT/SIGTERM drain and exit cleanly.")
     Term.(
-      const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ no_metrics_arg
-      $ metrics_file_arg $ metrics_interval_arg)
+      const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ tcp_arg $ host_arg
+      $ port_file_arg $ no_metrics_arg $ metrics_file_arg $ metrics_interval_arg
+      $ queue_depth_arg $ max_in_flight_arg $ max_line_bytes_arg
+      $ store_capacity_arg $ timeout_arg $ trace_out_arg)
+
+let loadgen_cmd =
+  let run host port connections jobs_per_connection example spec_file cycles
+      engine no_scrape out =
+    let spec =
+      match spec_file with
+      | Some path -> (
+          try
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with Sys_error msg ->
+            prerr_endline ("asim: " ^ msg);
+            exit 2)
+      | None -> (
+          match List.assoc_opt example Asim.Specs.all with
+          | Some s -> s
+          | None ->
+              prerr_endline ("asim: unknown example " ^ example);
+              exit 2)
+    in
+    let cfg =
+      {
+        Asim_serve.Loadgen.host;
+        port;
+        connections;
+        jobs_per_connection;
+        spec;
+        cycles;
+        engine;
+        scrape = not no_scrape;
+      }
+    in
+    let r = Asim_serve.Loadgen.run cfg in
+    print_string (Asim_serve.Loadgen.report_to_string r);
+    (match out with
+    | Some path ->
+        write_text_file path
+          (Asim_batch.Json.to_string (Asim_serve.Loadgen.report_to_json r) ^ "\n")
+    | None -> ());
+    if
+      r.Asim_serve.Loadgen.dropped > 0
+      || r.Asim_serve.Loadgen.duplicates > 0
+      || r.Asim_serve.Loadgen.upload_failures > 0
+      || r.Asim_serve.Loadgen.ok = 0
+    then begin
+      prerr_endline "asim loadgen: integrity check failed";
+      exit 1
+    end
+  in
+  let host_arg =
+    Arg.(
+      value & opt string "127.0.0.1"
+      & info [ "host" ] ~docv:"ADDR" ~doc:"Server address.")
+  in
+  let port_arg =
+    Arg.(
+      required & opt (some int) None
+      & info [ "p"; "port" ] ~docv:"PORT" ~doc:"Server TCP port.")
+  in
+  let connections_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "c"; "connections" ] ~docv:"N"
+          ~doc:"Concurrent client connections (default 256).")
+  in
+  let jobs_per_connection_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "n"; "jobs-per-connection" ] ~docv:"N"
+          ~doc:"Jobs pipelined per connection after its upload (default 4).")
+  in
+  let example_arg =
+    Arg.(
+      value & opt string "counter"
+      & info [ "example" ] ~docv:"NAME"
+          ~doc:"Built-in example spec every connection uploads and runs.")
+  in
+  let spec_file_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "spec-file" ] ~docv:"FILE"
+          ~doc:"Upload this spec file instead of a built-in example.")
+  in
+  let cycles_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "n-cycles"; "cycles" ] ~docv:"N"
+          ~doc:"Cycle budget per job (default: the spec's own declaration).")
+  in
+  let no_scrape_arg =
+    Arg.(
+      value & flag
+      & info [ "no-scrape" ]
+          ~doc:"Skip the final in-band metrics scrape (cache hit rate).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Also write the report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Load-test a running $(b,asim serve --tcp) instance: open many \
+          concurrent connections, upload one spec each (deduplicated by the \
+          content-addressed store), pipeline submit-by-hash jobs, and report \
+          throughput, latency percentiles and result integrity (zero dropped \
+          or duplicated replies).  Exits nonzero on any integrity failure.")
+    Term.(
+      const run $ host_arg $ port_arg $ connections_arg $ jobs_per_connection_arg
+      $ example_arg $ spec_file_arg $ cycles_arg $ engine_arg $ no_scrape_arg
+      $ out_arg)
 
 (* --- bench ------------------------------------------------------------------ *)
 
@@ -1102,4 +1276,4 @@ let () =
   exit (Cmd.eval (Cmd.group info
     [ check_cmd; run_cmd; codegen_cmd; pipeline_cmd; netlist_cmd; gates_cmd;
       profile_cmd; asm_cmd; coverage_cmd; wavediff_cmd; fuzz_cmd; batch_cmd;
-      bench_cmd; serve_cmd; fmt_cmd; example_cmd ]))
+      bench_cmd; serve_cmd; loadgen_cmd; fmt_cmd; example_cmd ]))

@@ -2,6 +2,7 @@ type source =
   | File of string
   | Inline of string
   | Example of string
+  | Hash of string
 
 type want =
   | Outputs
@@ -40,8 +41,12 @@ let want_to_string = function
   | Timing -> "timing"
 
 let known_fields =
-  [ "id"; "spec_file"; "spec"; "example"; "engine"; "optimize"; "cycles"; "inputs";
-    "want"; "timeout_s" ]
+  [ "id"; "spec_file"; "spec"; "example"; "spec_hash"; "engine"; "optimize"; "cycles";
+    "inputs"; "want"; "timeout_s" ]
+
+let is_md5_hex s =
+  String.length s = 32
+  && String.for_all (function '0' .. '9' | 'a' .. 'f' -> true | _ -> false) s
 
 let ( let* ) = Result.bind
 
@@ -53,9 +58,12 @@ let field_opt json key decode ~expected =
       | Some x -> Ok (Some x)
       | None -> Error (Printf.sprintf "field %S must be %s" key expected))
 
+type upload = { upload_id : string option; source_text : string }
+
 type request =
   | Run of job
   | Metrics
+  | Upload of upload
 
 let job_of_json json =
   match json with
@@ -69,13 +77,27 @@ let job_of_json json =
       let* spec_file = field_opt json "spec_file" Json.to_string_opt ~expected:"a string" in
       let* inline = field_opt json "spec" Json.to_string_opt ~expected:"a string" in
       let* example = field_opt json "example" Json.to_string_opt ~expected:"a string" in
+      let* hash = field_opt json "spec_hash" Json.to_string_opt ~expected:"a string" in
+      let* hash =
+        match hash with
+        | None -> Ok None
+        | Some h ->
+            let h = String.lowercase_ascii h in
+            if is_md5_hex h then Ok (Some h)
+            else Error "field \"spec_hash\" must be a 32-character MD5 hex digest"
+      in
       let* source =
-        match (spec_file, inline, example) with
-        | Some p, None, None -> Ok (File p)
-        | None, Some s, None -> Ok (Inline s)
-        | None, None, Some e -> Ok (Example e)
-        | None, None, None -> Error "job needs one of \"spec_file\", \"spec\" or \"example\""
-        | _ -> Error "job must name exactly one of \"spec_file\", \"spec\" or \"example\""
+        match (spec_file, inline, example, hash) with
+        | Some p, None, None, None -> Ok (File p)
+        | None, Some s, None, None -> Ok (Inline s)
+        | None, None, Some e, None -> Ok (Example e)
+        | None, None, None, Some h -> Ok (Hash h)
+        | None, None, None, None ->
+            Error "job needs one of \"spec_file\", \"spec\", \"example\" or \"spec_hash\""
+        | _ ->
+            Error
+              "job must name exactly one of \"spec_file\", \"spec\", \"example\" or \
+               \"spec_hash\""
       in
       let* engine =
         let* name = field_opt json "engine" Json.to_string_opt ~expected:"a string" in
@@ -140,7 +162,26 @@ let request_of_json json =
       | Some "metrics" -> (
           match json with
           | Json.Obj [ _ ] -> Ok Metrics
-          | _ -> Error "a control request carries no other fields")
+          | _ -> Error "a metrics control request carries no other fields")
+      | Some "upload" -> (
+          match json with
+          | Json.Obj fields -> (
+              let* () =
+                match
+                  List.find_opt
+                    (fun (k, _) -> not (List.mem k [ "control"; "spec"; "id" ]))
+                    fields
+                with
+                | Some (k, _) ->
+                    Error (Printf.sprintf "unknown field %S in upload request" k)
+                | None -> Ok ()
+              in
+              let* upload_id = field_opt json "id" Json.to_string_opt ~expected:"a string" in
+              match Json.member "spec" json with
+              | Some (Json.String source_text) -> Ok (Upload { upload_id; source_text })
+              | Some _ -> Error "field \"spec\" must be a string"
+              | None -> Error "an upload request needs a \"spec\" field")
+          | _ -> Error "an upload request must be a JSON object")
       | Some other -> Error (Printf.sprintf "unknown control request %S" other)
       | None -> Error "field \"control\" must be a string")
   | None -> Result.map (fun j -> Run j) (job_of_json json)
@@ -158,7 +199,8 @@ let job_to_json job =
   (match job.source with
   | File p -> add "spec_file" (Json.String p)
   | Inline s -> add "spec" (Json.String s)
-  | Example e -> add "example" (Json.String e));
+  | Example e -> add "example" (Json.String e)
+  | Hash h -> add "spec_hash" (Json.String h));
   Option.iter (fun i -> add "id" (Json.String i)) job.id;
   Json.Obj !fields
 

@@ -10,6 +10,11 @@ type source =
   | File of string  (** ["spec_file"]: path to a specification *)
   | Inline of string  (** ["spec"]: the specification source itself *)
   | Example of string  (** ["example"]: a built-in {!Asim.Specs} name *)
+  | Hash of string
+      (** ["spec_hash"]: the canonical-form MD5 of a spec previously
+          uploaded to the serving layer's content-addressed store
+          (lowercased on decode).  Only [asim serve] can resolve it;
+          [asim batch] answers such jobs with a structured error. *)
 
 type want =
   | Outputs  (** final value of every component *)
@@ -34,15 +39,24 @@ val job_of_json : Json.t -> (job, string) result
 (** Strict: unknown fields, missing/duplicate spec sources, and ill-typed
     values are errors. *)
 
+type upload = { upload_id : string option; source_text : string }
+
 type request =
   | Run of job
   | Metrics
       (** [{"control":"metrics"}]: answer with the session's live metrics in
           Prometheus text format instead of running a simulation. *)
+  | Upload of upload
+      (** [{"control":"upload","spec":"…"}]: canonicalize the spec source
+          and remember it in the content-addressed spec store, answering
+          with its MD5 digest; later jobs may submit by ["spec_hash"]. *)
 
 val request_of_json : Json.t -> (request, string) result
 (** A line with a ["control"] field is a control request; anything else is
     decoded as a job via {!job_of_json}. *)
+
+val is_md5_hex : string -> bool
+(** 32 chars of lowercase [0-9a-f] — the shape every spec digest has. *)
 
 val job_to_json : job -> Json.t
 

@@ -8,12 +8,15 @@ type t = {
   tracer : Tracer.t;
 }
 
-let create ?(cache_capacity = 64) ?(tracer = Tracer.null) () =
+let create ?(cache_capacity = 64) ?metrics ?(tracer = Tracer.null) () =
   {
     cache = Cache.create ~capacity:cache_capacity;
-    metrics = Metrics.create ();
+    metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     tracer;
   }
+
+let metrics t = t.metrics
+let cache_stats t = Cache.stats t.cache
 
 let cache_key ~engine ~optimize spec =
   let canonical = Pretty.spec spec in
@@ -24,6 +27,12 @@ let cache_key ~engine ~optimize spec =
 
 let resolve_source = function
   | Proto.Inline s -> s
+  | Proto.Hash h ->
+      failwith
+        (Printf.sprintf
+           "job names spec by hash %s but this mode has no spec store (upload/submit \
+            by hash needs asim serve)"
+           h)
   | Proto.File path ->
       let ic = open_in_bin path in
       Fun.protect
@@ -251,6 +260,9 @@ let process t ~jobs ~next ~emit =
                       match Proto.request_of_json json with
                       | Error msg -> malformed_result t ~index ~lineno msg
                       | Ok Proto.Metrics -> metrics_result t ~index
+                      | Ok (Proto.Upload _) ->
+                          malformed_result t ~index ~lineno
+                            "no spec store in batch mode (upload needs asim serve)"
                       | Ok (Proto.Run job) ->
                           Json.to_string (Proto.result_to_json ~index (run_job t job)))))
         end;

@@ -6,11 +6,22 @@ type t
 (** A batch session: one compiled-spec cache plus one metrics accumulator,
     shared by every worker domain. *)
 
-val create : ?cache_capacity:int -> ?tracer:Asim_obs.Tracer.t -> unit -> t
-(** [cache_capacity] defaults to 64 analyzed specs.  [tracer] (default
+val create :
+  ?cache_capacity:int -> ?metrics:Metrics.t -> ?tracer:Asim_obs.Tracer.t -> unit -> t
+(** [cache_capacity] defaults to 64 analyzed specs.  [metrics] lets several
+    sessions share one accumulator — the serving layer gives every shard
+    its own cache (and so its own [t]) while keeping one set of job
+    counters and latency histograms.  [tracer] (default
     {!Asim_obs.Tracer.null}) receives spans for batch internals — queue
     wait, worker execute, cache lookup, emit — and for each pipeline stage
     of every job (parse, analyze, build, simulate). *)
+
+val metrics : t -> Metrics.t
+(** The session's metrics accumulator (the one passed to {!create}, or the
+    private one it made). *)
+
+val cache_stats : t -> Cache.stats
+(** Live counters of this session's compiled-spec cache. *)
 
 val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> string
 (** The cache key: an MD5 content hash of the spec's canonical

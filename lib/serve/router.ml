@@ -1,0 +1,23 @@
+let shard_of_digest ~shards digest =
+  let shards = max 1 shards in
+  let n = min 15 (String.length digest) in
+  let rec hex acc i =
+    if i >= n then Some acc
+    else
+      match digest.[i] with
+      | '0' .. '9' as c -> hex ((acc * 16) + (Char.code c - Char.code '0')) (i + 1)
+      | 'a' .. 'f' as c -> hex ((acc * 16) + (Char.code c - Char.code 'a' + 10)) (i + 1)
+      | 'A' .. 'F' as c -> hex ((acc * 16) + (Char.code c - Char.code 'A' + 10)) (i + 1)
+      | _ -> None
+  in
+  let h = match if n = 0 then None else hex 0 0 with
+    | Some v -> v
+    | None -> Hashtbl.hash digest
+  in
+  h mod shards
+
+let digest_of_source = function
+  | Asim_batch.Proto.Hash h -> String.lowercase_ascii h
+  | Asim_batch.Proto.Inline s -> Digest.to_hex (Digest.string s)
+  | Asim_batch.Proto.File p -> Digest.to_hex (Digest.string ("file:" ^ p))
+  | Asim_batch.Proto.Example e -> Digest.to_hex (Digest.string ("example:" ^ e))

@@ -1,0 +1,19 @@
+(** The shard router: a pure, deterministic map from spec digests to worker
+    shards.
+
+    Every job carrying the same digest lands on the same shard for the
+    lifetime of the server, so each shard's compiled-spec cache (and the
+    native engine's JIT-artifact cache behind it) stays hot for the specs
+    it owns — the CVC/GSIM "keep compiled artifacts warm" play, applied to
+    shard placement. *)
+
+val shard_of_digest : shards:int -> string -> int
+(** [shard_of_digest ~shards digest] is in [0, max 1 shards).  The digest's
+    leading hex digits are read as an integer and reduced mod [shards];
+    non-hex strings fall back to a structural hash.  Pure: equal digests
+    always answer the same shard. *)
+
+val digest_of_source : Asim_batch.Proto.source -> string
+(** The routing digest for a job: the spec hash itself for submit-by-hash
+    jobs (so they provably colocate with their uploaded spec), and a cheap
+    MD5 of the source identity (text, path or example name) otherwise. *)

@@ -1,0 +1,806 @@
+module Json = Asim_batch.Json
+module Proto = Asim_batch.Proto
+module Runner = Asim_batch.Runner
+module Cache = Asim_batch.Cache
+module Metrics = Asim_batch.Metrics
+module Registry = Asim_obs.Registry
+module Clock = Asim_obs.Clock
+module Tracer = Asim_obs.Tracer
+
+type config = {
+  shards : int;
+  queue_depth : int;
+  max_in_flight : int;
+  max_line_bytes : int;
+  cache_capacity : int;
+  store_capacity : int;
+  default_timeout_s : float option;
+  tracer : Tracer.t;
+}
+
+let default_config =
+  {
+    shards = 1;
+    queue_depth = 256;
+    max_in_flight = 64;
+    max_line_bytes = 1 lsl 20;
+    cache_capacity = 64;
+    store_capacity = 1024;
+    default_timeout_s = None;
+    tracer = Tracer.null;
+  }
+
+type client = {
+  cid : int;
+  rfd : Unix.file_descr;
+  wfd : Unix.file_descr;
+  wmutex : Mutex.t;  (** guards [alive], all writes to [wfd], and the close *)
+  mutable alive : bool;
+  mutable in_flight : int;  (** admitted jobs not yet answered; under [t.mutex] *)
+  tcp : bool;
+  close_on_exit : bool;
+}
+
+type task = {
+  t_client : client;
+  t_index : int;
+  t_job : Proto.job;
+  t_admitted : float;
+}
+
+type shard = {
+  sid : int;
+  runner : Runner.t;
+  smutex : Mutex.t;  (** guards [queue] and [stopping] — admission and exit
+                         decide under the same lock, so no task is ever
+                         enqueued after its worker has gone *)
+  scond : Condition.t;
+  queue : task Queue.t;
+  mutable stopping : bool;
+  mutable domain : unit Domain.t option;
+}
+
+type t = {
+  cfg : config;
+  registry : Registry.t;  (** serve-layer [asim_serve_*] families *)
+  metrics : Metrics.t;  (** job metrics shared by every shard runner *)
+  store : Store.t;
+  shards : shard array;
+  mutex : Mutex.t;  (** guards [clients], [readers], [draining], [drained]
+                        and every [client.in_flight] *)
+  cond : Condition.t;  (** broadcast whenever an in-flight count drops *)
+  mutable clients : client list;
+  mutable readers : Thread.t list;
+  mutable listeners : Unix.file_descr list;
+  mutable draining : bool;
+  mutable drained : bool;
+  stop : bool Atomic.t;
+  wake_w : Unix.file_descr;  (** self-pipe: {!shutdown} writes, watcher reads *)
+  wake_r : Unix.file_descr;
+  mutable watcher : Thread.t option;
+  mutable metrics_path : string option;
+  mutable metrics_writer : Thread.t option;
+  writer_stop : bool Atomic.t;
+  started : float;
+  next_cid : int Atomic.t;
+  connections_c : Registry.counter;
+  connected_g : Registry.gauge;
+  dropped_c : Registry.counter;
+}
+
+let config t = t.cfg
+let store t = t.store
+let shard_label sid = [ ("shard", string_of_int sid) ]
+
+let requests_c t kind =
+  Registry.counter t.registry ~help:"Requests received, by kind"
+    ~labels:[ ("kind", kind) ]
+    "asim_serve_requests_total"
+
+let rejected_c t reason =
+  Registry.counter t.registry ~help:"Jobs refused at admission, by reason"
+    ~labels:[ ("reason", reason) ]
+    "asim_serve_rejected_total"
+
+let shard_jobs_c t sid status =
+  Registry.counter t.registry ~help:"Jobs finished per shard, by status"
+    ~labels:(shard_label sid @ [ ("status", status) ])
+    "asim_serve_jobs_total"
+
+let shard_duration_h t sid =
+  Registry.histogram t.registry ~help:"Job execution wall time per shard"
+    ~labels:(shard_label sid) "asim_serve_job_duration_seconds"
+
+let queue_wait_h t sid =
+  Registry.histogram t.registry ~help:"Admission-to-pickup wait per shard"
+    ~labels:(shard_label sid) "asim_serve_queue_wait_seconds"
+
+let queue_depth_g t sid =
+  Registry.gauge t.registry ~help:"Queued jobs per shard" ~labels:(shard_label sid)
+    "asim_serve_queue_depth"
+
+(* --- writing replies -------------------------------------------------------- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Send one reply line.  A client whose connection broke stays registered
+   (its jobs still run and decrement in-flight) but is marked dead so no
+   write ever touches a possibly-reused descriptor. *)
+let send client line =
+  Mutex.lock client.wmutex;
+  let ok =
+    client.alive
+    &&
+    match write_all client.wfd (line ^ "\n") with
+    | () -> true
+    | exception (Unix.Unix_error _ | Sys_error _) ->
+        client.alive <- false;
+        false
+  in
+  Mutex.unlock client.wmutex;
+  ok
+
+let send_result t client line =
+  if not (send client line) then Registry.inc t.dropped_c
+
+(* --- reply shapes ----------------------------------------------------------- *)
+
+let obj_line fields = Json.to_string (Json.Obj fields)
+
+let with_id id fields =
+  match id with Some i -> ("id", Json.String i) :: fields | None -> fields
+
+let malformed_line t ~index ~lineno msg =
+  Metrics.record t.metrics ~engine:"manifest" ~status:`Error ~elapsed:0.0;
+  obj_line
+    [
+      ("index", Json.Int index);
+      ("line", Json.Int lineno);
+      ("status", Json.String "error");
+      ("error", Json.String (Printf.sprintf "line %d: %s" lineno msg));
+    ]
+
+let refusal_line ~index ~id ~status msg =
+  obj_line
+    (("index", Json.Int index)
+    :: with_id id
+         [ ("status", Json.String status); ("error", Json.String msg) ])
+
+(* --- the shard workers ------------------------------------------------------ *)
+
+let finish_job t client =
+  Mutex.lock t.mutex;
+  client.in_flight <- client.in_flight - 1;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.mutex
+
+let run_task t shard task =
+  let tr = t.cfg.tracer in
+  let attrs =
+    ("shard", string_of_int shard.sid)
+    :: ("index", string_of_int task.t_index)
+    :: (match task.t_job.Proto.id with Some id -> [ ("id", id) ] | None -> [])
+  in
+  let picked = Clock.now () in
+  Registry.observe (queue_wait_h t shard.sid) (picked -. task.t_admitted);
+  if Tracer.is_active tr then
+    Tracer.span_at tr ~args:attrs "serve.queue_wait" ~ts:task.t_admitted
+      ~dur:(picked -. task.t_admitted);
+  let line, status =
+    match
+      Tracer.span tr ~args:attrs "serve.execute" (fun () ->
+          Runner.run_job shard.runner task.t_job)
+    with
+    | outcome ->
+        ( Json.to_string (Proto.result_to_json ~index:task.t_index outcome),
+          (match outcome.Proto.status with
+          | Proto.Ok_ -> "ok"
+          | Proto.Error_ _ -> "error"
+          | Proto.Timeout _ -> "timeout") )
+    | exception exn ->
+        (* crash isolation: a worker survives anything a job throws *)
+        Metrics.record t.metrics ~engine:"internal" ~status:`Error ~elapsed:0.0;
+        ( obj_line
+            [
+              ("index", Json.Int task.t_index);
+              ("status", Json.String "error");
+              ("error", Json.String ("internal: " ^ Printexc.to_string exn));
+            ],
+          "error" )
+  in
+  Registry.inc (shard_jobs_c t shard.sid status);
+  Registry.observe (shard_duration_h t shard.sid) (Clock.now () -. picked);
+  send_result t task.t_client line;
+  finish_job t task.t_client
+
+let worker t shard =
+  let rec loop () =
+    Mutex.lock shard.smutex;
+    while Queue.is_empty shard.queue && not shard.stopping do
+      Condition.wait shard.scond shard.smutex
+    done;
+    if Queue.is_empty shard.queue then Mutex.unlock shard.smutex
+      (* stopping with a dry queue: every admitted job is answered *)
+    else begin
+      let task = Queue.pop shard.queue in
+      Registry.set (queue_depth_g t shard.sid) (float_of_int (Queue.length shard.queue));
+      Mutex.unlock shard.smutex;
+      run_task t shard task;
+      loop ()
+    end
+  in
+  loop ()
+
+(* --- admission -------------------------------------------------------------- *)
+
+let admit t client ~index (job : Proto.job) =
+  Registry.inc (requests_c t "job");
+  let id = job.Proto.id in
+  let refuse ~reason ~status msg =
+    Registry.inc (rejected_c t reason);
+    send client (refusal_line ~index ~id ~status msg) |> ignore
+  in
+  (* resolve the spec store up front: unknown hashes fail fast, and workers
+     never need the store at all *)
+  let job =
+    match job.Proto.source with
+    | Proto.Hash h -> (
+        match Store.find t.store h with
+        | Some canonical -> Ok { job with Proto.source = Proto.Inline canonical }
+        | None -> Error h)
+    | _ -> Ok job
+  in
+  match job with
+  | Error h ->
+      refuse ~reason:"unknown_hash" ~status:"error"
+        (Printf.sprintf "unknown spec hash %s (upload it first)" h)
+  | Ok job -> (
+      let job =
+        match job.Proto.timeout_s with
+        | Some _ -> job
+        | None -> { job with Proto.timeout_s = t.cfg.default_timeout_s }
+      in
+      let digest = Router.digest_of_source job.Proto.source in
+      let shard = t.shards.(Router.shard_of_digest ~shards:t.cfg.shards digest) in
+      Mutex.lock t.mutex;
+      let verdict =
+        if t.draining then `Draining
+        else if client.in_flight >= t.cfg.max_in_flight then `Quota
+        else begin
+          client.in_flight <- client.in_flight + 1;
+          `Admitted
+        end
+      in
+      Mutex.unlock t.mutex;
+      match verdict with
+      | `Draining ->
+          refuse ~reason:"draining" ~status:"overload" "server draining"
+      | `Quota ->
+          refuse ~reason:"quota" ~status:"rejected"
+            (Printf.sprintf
+               "in-flight quota exceeded (%d jobs); wait for results before \
+                submitting more"
+               t.cfg.max_in_flight)
+      | `Admitted -> (
+          let task =
+            { t_client = client; t_index = index; t_job = job; t_admitted = Clock.now () }
+          in
+          Mutex.lock shard.smutex;
+          let pushed =
+            if shard.stopping then `Draining
+            else if Queue.length shard.queue >= t.cfg.queue_depth then `Full
+            else begin
+              Queue.push task shard.queue;
+              Registry.set (queue_depth_g t shard.sid)
+                (float_of_int (Queue.length shard.queue));
+              Condition.signal shard.scond;
+              `Pushed
+            end
+          in
+          Mutex.unlock shard.smutex;
+          match pushed with
+          | `Pushed -> ()
+          | `Draining ->
+              finish_job t client;
+              refuse ~reason:"draining" ~status:"overload" "server draining"
+          | `Full ->
+              finish_job t client;
+              refuse ~reason:"queue_full" ~status:"overload"
+                (Printf.sprintf
+                   "shard %d queue full (%d jobs queued); retry later" shard.sid
+                   t.cfg.queue_depth)))
+
+(* --- observability ---------------------------------------------------------- *)
+
+let aggregate_cache_stats t =
+  Array.fold_left
+    (fun (acc : Cache.stats) s ->
+      let st = Runner.cache_stats s.runner in
+      {
+        Cache.hits = acc.Cache.hits + st.Cache.hits;
+        misses = acc.Cache.misses + st.Cache.misses;
+        evictions = acc.Cache.evictions + st.Cache.evictions;
+        entries = acc.Cache.entries + st.Cache.entries;
+        capacity = acc.Cache.capacity + st.Cache.capacity;
+      })
+    { Cache.hits = 0; misses = 0; evictions = 0; entries = 0; capacity = 0 }
+    t.shards
+
+let refresh_gauges t =
+  Array.iter
+    (fun s ->
+      let st = Runner.cache_stats s.runner in
+      let g name help =
+        Registry.gauge t.registry ~help ~labels:(shard_label s.sid) name
+      in
+      Registry.set
+        (g "asim_serve_shard_cache_hits" "Compiled-spec cache hits per shard")
+        (float_of_int st.Cache.hits);
+      Registry.set
+        (g "asim_serve_shard_cache_misses" "Compiled-spec cache misses per shard")
+        (float_of_int st.Cache.misses);
+      Registry.set
+        (g "asim_serve_shard_cache_entries" "Compiled-spec cache entries per shard")
+        (float_of_int st.Cache.entries))
+    t.shards;
+  let g name help = Registry.gauge t.registry ~help name in
+  Registry.set
+    (g "asim_serve_store_specs" "Specs held by the content-addressed store")
+    (float_of_int (Store.count t.store));
+  Registry.set
+    (g "asim_serve_store_capacity" "Spec store capacity")
+    (float_of_int (Store.capacity t.store));
+  Registry.set
+    (g "asim_serve_store_uploads" "Upload requests accepted, fresh or duplicate")
+    (float_of_int (Store.uploads t.store));
+  Metrics.set_cache t.metrics (aggregate_cache_stats t)
+
+let prometheus t =
+  refresh_gauges t;
+  Registry.to_prometheus t.registry
+  ^ Registry.to_prometheus (Metrics.registry t.metrics)
+
+let summary t =
+  Metrics.summarize t.metrics ~cache:(aggregate_cache_stats t)
+    ~wall_s:(Clock.now () -. t.started)
+
+let write_metrics_file t path =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (prometheus t));
+  Sys.rename tmp path
+
+(* --- request handling ------------------------------------------------------- *)
+
+(* The metrics barrier: a control request only answers once every job this
+   client already admitted has been answered, so a pipelined
+   job-then-metrics script observes its own jobs in the counters — the
+   sequential semantics the stdio loop always had. *)
+let metrics_reply t client ~index =
+  Registry.inc (requests_c t "metrics");
+  Mutex.lock t.mutex;
+  while client.in_flight > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  obj_line
+    [
+      ("index", Json.Int index);
+      ("control", Json.String "metrics");
+      ("status", Json.String "ok");
+      ("metrics", Json.String (prometheus t));
+    ]
+
+let upload_reply t ~index (u : Proto.upload) =
+  Registry.inc (requests_c t "upload");
+  match Store.upload t.store u.Proto.source_text with
+  | Ok { Store.digest; components; fresh } ->
+      obj_line
+        (("index", Json.Int index)
+        :: with_id u.Proto.upload_id
+             [
+               ("control", Json.String "upload");
+               ("status", Json.String "ok");
+               ("hash", Json.String digest);
+               ("components", Json.Int components);
+               ("fresh", Json.Bool fresh);
+             ])
+  | Error msg ->
+      obj_line
+        (("index", Json.Int index)
+        :: with_id u.Proto.upload_id
+             [
+               ("control", Json.String "upload");
+               ("status", Json.String "error");
+               ("error", Json.String msg);
+             ])
+
+let handle_line t client ~index ~lineno line =
+  match Json.parse line with
+  | exception Json.Parse_error msg ->
+      Registry.inc (requests_c t "malformed");
+      send client (malformed_line t ~index ~lineno msg) |> ignore
+  | json -> (
+      match Proto.request_of_json json with
+      | Error msg ->
+          Registry.inc (requests_c t "malformed");
+          send client (malformed_line t ~index ~lineno msg) |> ignore
+      | Ok Proto.Metrics -> send client (metrics_reply t client ~index) |> ignore
+      | Ok (Proto.Upload u) -> send client (upload_reply t ~index u) |> ignore
+      | Ok (Proto.Run job) -> admit t client ~index job)
+
+(* --- the per-client reader -------------------------------------------------- *)
+
+let is_blank line = String.trim line = ""
+
+(* Bounded line reader over a raw descriptor.  A line past the limit is
+   discarded byte-by-byte until its newline and answered with a structured
+   error — the connection survives. *)
+let read_loop t client =
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 8192 in
+  let oversized = ref false in
+  let lineno = ref 0 in
+  let index = ref 0 in
+  let finish_line () =
+    incr lineno;
+    let line = Buffer.contents buf in
+    Buffer.clear buf;
+    if !oversized then begin
+      oversized := false;
+      Registry.inc (requests_c t "malformed");
+      Registry.inc (rejected_c t "oversized");
+      let reply =
+        malformed_line t ~index:!index ~lineno:!lineno
+          (Printf.sprintf "request line exceeds %d bytes" t.cfg.max_line_bytes)
+      in
+      send client reply |> ignore;
+      incr index
+    end
+    else if not (is_blank line) then begin
+      let line =
+        let n = String.length line in
+        if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+      in
+      handle_line t client ~index:!index ~lineno:!lineno line;
+      incr index
+    end
+  in
+  let append s =
+    if not !oversized then begin
+      Buffer.add_string buf s;
+      if Buffer.length buf > t.cfg.max_line_bytes then begin
+        oversized := true;
+        Buffer.clear buf
+      end
+    end
+  in
+  let rec loop () =
+    match Unix.read client.rfd chunk 0 (Bytes.length chunk) with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+        (* a signal interrupted the read; the brief sleep is a safe point
+           where the OCaml-level handler (which calls {!shutdown}) runs
+           before we test the flag — without it a stdio reader could block
+           again with the stop request still pending *)
+        Thread.delay 0.001;
+        if Atomic.get t.stop then () else loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | 0 -> if Buffer.length buf > 0 || !oversized then finish_line ()
+    | n ->
+        let pos = ref 0 in
+        for i = 0 to n - 1 do
+          if Bytes.get chunk i = '\n' then begin
+            append (Bytes.sub_string chunk !pos (i - !pos));
+            finish_line ();
+            pos := i + 1
+          end
+        done;
+        append (Bytes.sub_string chunk !pos (n - !pos));
+        loop ()
+  in
+  loop ()
+
+let register_client t ~tcp ~close_on_exit rfd wfd =
+  let client =
+    {
+      cid = Atomic.fetch_and_add t.next_cid 1;
+      rfd;
+      wfd;
+      wmutex = Mutex.create ();
+      alive = true;
+      in_flight = 0;
+      tcp;
+      close_on_exit;
+    }
+  in
+  Registry.inc t.connections_c;
+  Registry.gauge_add t.connected_g 1.0;
+  Mutex.lock t.mutex;
+  t.clients <- client :: t.clients;
+  let draining = t.draining in
+  Mutex.unlock t.mutex;
+  (* a client that slipped in while shutdown was unblocking readers would
+     otherwise block drain forever *)
+  if (draining || Atomic.get t.stop) && tcp then
+    (try Unix.shutdown rfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ());
+  client
+
+let session t client =
+  read_loop t client;
+  (* EOF (or shutdown): the request stream is over, but admitted jobs still
+     owe replies — stream them out before hanging up *)
+  Mutex.lock t.mutex;
+  while client.in_flight > 0 do
+    Condition.wait t.cond t.mutex
+  done;
+  Mutex.unlock t.mutex;
+  Mutex.lock client.wmutex;
+  client.alive <- false;
+  if client.close_on_exit then begin
+    (try Unix.close client.rfd with Unix.Unix_error _ -> ());
+    if client.wfd <> client.rfd then
+      try Unix.close client.wfd with Unix.Unix_error _ -> ()
+  end;
+  Mutex.unlock client.wmutex;
+  Registry.gauge_add t.connected_g (-1.0);
+  Mutex.lock t.mutex;
+  t.clients <- List.filter (fun c -> c.cid <> client.cid) t.clients;
+  Mutex.unlock t.mutex
+
+(* --- lifecycle -------------------------------------------------------------- *)
+
+let unblock t =
+  Mutex.lock t.mutex;
+  t.draining <- true;
+  let listeners = t.listeners in
+  t.listeners <- [];
+  let clients = t.clients in
+  Mutex.unlock t.mutex;
+  List.iter
+    (fun fd ->
+      (* shutdown first: close alone does not wake a thread already blocked
+         in accept, so a quiet server would never notice the stop request *)
+      (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ())
+    listeners;
+  List.iter
+    (fun c ->
+      if c.tcp then
+        try Unix.shutdown c.rfd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+    clients
+
+let watcher_loop t =
+  let b = Bytes.create 1 in
+  let rec wait () =
+    match Unix.read t.wake_r b 0 1 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | 0 -> ()
+    | _ -> ()
+  in
+  wait ();
+  if Atomic.get t.stop then unblock t
+
+let shutdown t =
+  Atomic.set t.stop true;
+  (* a self-pipe poke is all a signal handler may safely do; the watcher
+     thread does the mutex-taking work *)
+  try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+  with Unix.Unix_error _ -> ()
+
+let create ?(config = default_config) () =
+  let config =
+    {
+      config with
+      shards = max 1 config.shards;
+      queue_depth = max 1 config.queue_depth;
+      max_in_flight = max 1 config.max_in_flight;
+      max_line_bytes = max 64 config.max_line_bytes;
+    }
+  in
+  (* broken pipes must surface as EPIPE on the write, not kill the process *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let metrics = Metrics.create () in
+  let registry = Registry.create () in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  let shards =
+    Array.init config.shards (fun sid ->
+        {
+          sid;
+          runner =
+            Runner.create ~cache_capacity:config.cache_capacity ~metrics
+              ~tracer:config.tracer ();
+          smutex = Mutex.create ();
+          scond = Condition.create ();
+          queue = Queue.create ();
+          stopping = false;
+          domain = None;
+        })
+  in
+  let t =
+    {
+      cfg = config;
+      registry;
+      metrics;
+      store = Store.create ~capacity:config.store_capacity ();
+      shards;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      clients = [];
+      readers = [];
+      listeners = [];
+      draining = false;
+      drained = false;
+      stop = Atomic.make false;
+      wake_w;
+      wake_r;
+      watcher = None;
+      metrics_path = None;
+      metrics_writer = None;
+      writer_stop = Atomic.make false;
+      started = Clock.now ();
+      next_cid = Atomic.make 0;
+      connections_c =
+        Registry.counter registry ~help:"Client connections accepted"
+          "asim_serve_connections_total";
+      connected_g =
+        Registry.gauge registry ~help:"Clients currently connected"
+          "asim_serve_clients_connected";
+      dropped_c =
+        Registry.counter registry
+          ~help:"Job results that could not be delivered (client gone)"
+          "asim_serve_dropped_results_total";
+    }
+  in
+  Array.iter (fun s -> s.domain <- Some (Domain.spawn (fun () -> worker t s))) shards;
+  t.watcher <- Some (Thread.create watcher_loop t);
+  t
+
+let metrics_file t ~path ~interval =
+  t.metrics_path <- Some path;
+  let interval = Float.max 0.05 interval in
+  let writer () =
+    let rec loop () =
+      if not (Atomic.get t.writer_stop) then begin
+        (* sleep in short slices so drain never waits a full interval *)
+        let rec nap left =
+          if left > 0.0 && not (Atomic.get t.writer_stop) then begin
+            Thread.delay (Float.min 0.1 left);
+            nap (left -. 0.1)
+          end
+        in
+        nap interval;
+        if not (Atomic.get t.writer_stop) then begin
+          (try write_metrics_file t path with Sys_error _ -> ());
+          loop ()
+        end
+      end
+    in
+    loop ()
+  in
+  t.metrics_writer <- Some (Thread.create writer ())
+
+let drain t =
+  Mutex.lock t.mutex;
+  if t.drained then Mutex.unlock t.mutex
+  else if t.draining && t.clients = [] && t.readers = [] && t.listeners = []
+          && Array.for_all (fun s -> s.domain = None) t.shards
+  then begin
+    t.drained <- true;
+    Mutex.unlock t.mutex
+  end
+  else begin
+    Mutex.unlock t.mutex;
+    unblock t;
+    (* run every admitted job dry, then retire the workers *)
+    Array.iter
+      (fun s ->
+        Mutex.lock s.smutex;
+        s.stopping <- true;
+        Condition.broadcast s.scond;
+        Mutex.unlock s.smutex)
+      t.shards;
+    Array.iter
+      (fun s ->
+        match s.domain with
+        | Some d ->
+            Domain.join d;
+            s.domain <- None
+        | None -> ())
+      t.shards;
+    Mutex.lock t.mutex;
+    let readers = t.readers in
+    t.readers <- [];
+    Mutex.unlock t.mutex;
+    List.iter Thread.join readers;
+    (* the watcher may still be parked on the pipe *)
+    Atomic.set t.stop true;
+    (try ignore (Unix.write t.wake_w (Bytes.make 1 '!') 0 1)
+     with Unix.Unix_error _ -> ());
+    (match t.watcher with
+    | Some w ->
+        Thread.join w;
+        t.watcher <- None
+    | None -> ());
+    Atomic.set t.writer_stop true;
+    (match t.metrics_writer with
+    | Some w ->
+        Thread.join w;
+        t.metrics_writer <- None
+    | None -> ());
+    (match t.metrics_path with
+    | Some path -> ( try write_metrics_file t path with Sys_error _ -> ())
+    | None -> ());
+    (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    Mutex.lock t.mutex;
+    t.drained <- true;
+    Condition.broadcast t.cond;
+    Mutex.unlock t.mutex
+  end
+
+let listen t addr =
+  let domain = Unix.domain_of_sockaddr addr in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt fd Unix.SO_REUSEADDR true with Unix.Unix_error _ -> ());
+  (match addr with
+  | Unix.ADDR_UNIX path when Sys.file_exists path -> (
+      try Unix.unlink path with Unix.Unix_error _ | Sys_error _ -> ())
+  | _ -> ());
+  Unix.bind fd addr;
+  Unix.listen fd 128;
+  Mutex.lock t.mutex;
+  t.listeners <- fd :: t.listeners;
+  Mutex.unlock t.mutex;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, port) -> port
+  | Unix.ADDR_UNIX _ -> 0
+
+let spawn_reader t client =
+  let th = Thread.create (fun () -> session t client) () in
+  Mutex.lock t.mutex;
+  t.readers <- th :: t.readers;
+  Mutex.unlock t.mutex
+
+let accept_loop t fd =
+  let rec loop () =
+    match Unix.accept ~cloexec:true fd with
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+        if Atomic.get t.stop then () else loop ()
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | cfd, _addr ->
+        if Atomic.get t.stop then (
+          try Unix.close cfd with Unix.Unix_error _ -> ())
+        else begin
+          (try Unix.setsockopt cfd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ -> ());
+          spawn_reader t (register_client t ~tcp:true ~close_on_exit:true cfd cfd);
+          loop ()
+        end
+  in
+  loop ()
+
+let serve t =
+  let listeners = Mutex.lock t.mutex; let l = t.listeners in Mutex.unlock t.mutex; l in
+  (match listeners with
+  | [] -> invalid_arg "Server.serve: no listener (call listen first)"
+  | [ fd ] -> accept_loop t fd
+  | fds ->
+      let threads = List.map (fun fd -> Thread.create (accept_loop t) fd) fds in
+      List.iter Thread.join threads);
+  drain t
+
+let attach t rfd wfd =
+  let client = register_client t ~tcp:false ~close_on_exit:false rfd wfd in
+  session t client

@@ -1,0 +1,101 @@
+(** The network simulation service: many concurrent JSONL clients, a
+    content-addressed spec store, and hash-sharded worker domains.
+
+    One [t] is one service instance.  Requests arrive as JSONL lines (the
+    {!Asim_batch.Proto} schema plus the [upload] control request and
+    [spec_hash] job source); each non-blank line is numbered per
+    connection and its reply carries that number as ["index"].  Job
+    replies stream back in {e completion} order — a fast job on one shard
+    is never stuck behind a slow job on another — while control replies
+    (upload, metrics, admission rejections) are immediate.
+
+    {2 Admission control}
+
+    A job passes three gates before it reaches a worker:
+    - the per-client in-flight quota ([max_in_flight]) — exceeding it gets
+      a ["rejected"] reply;
+    - the routed shard's bounded queue ([queue_depth]) — a full queue gets
+      an ["overload"] reply (explicit backpressure, never silent buffering);
+    - a draining server answers ["overload"] with ["server draining"].
+    Rejections are immediate, cost no worker time, and echo the job's
+    ["id"].  Jobs that pass run under a cooperative deadline
+    ({!Asim.Machine.run_bounded}) of [timeout_s], defaulted from
+    [default_timeout_s].
+
+    {2 Sharding}
+
+    Spec digests are routed by {!Router.shard_of_digest} across [shards]
+    worker domains, each owning a private compiled-spec cache
+    ({!Asim_batch.Cache}) — so repeat work on one spec always lands where
+    its artifacts are already warm.  Job metrics accumulate in one shared
+    {!Asim_batch.Metrics} across shards.
+
+    {2 Shutdown}
+
+    {!shutdown} is signal-handler-safe: it sets a flag and pokes a
+    self-pipe; a watcher thread then stops the listener and unblocks
+    readers.  {!drain} (called by {!serve} on exit, idempotent) runs every
+    admitted job dry, joins the shard domains and reader threads, and
+    flushes a final metrics-file snapshot. *)
+
+type config = {
+  shards : int;  (** worker domains, one compiled-spec cache each *)
+  queue_depth : int;  (** bounded per-shard job queue *)
+  max_in_flight : int;  (** per-client admitted-but-unanswered job quota *)
+  max_line_bytes : int;  (** longer request lines get a structured error *)
+  cache_capacity : int;  (** compiled-spec cache entries per shard *)
+  store_capacity : int;  (** content-addressed spec store entries *)
+  default_timeout_s : float option;  (** deadline for jobs that name none *)
+  tracer : Asim_obs.Tracer.t;
+}
+
+val default_config : config
+(** 1 shard, queue 256, quota 64, 1 MiB lines, cache 64, store 1024, no
+    default timeout, null tracer. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+val config : t -> config
+val store : t -> Store.t
+
+(** {2 Listening} *)
+
+val listen : t -> Unix.sockaddr -> int
+(** Bind and listen.  Returns the bound TCP port (handy with port 0), or 0
+    for Unix-domain sockets.  Call once, before {!serve}. *)
+
+val serve : t -> unit
+(** Accept connections and spawn a reader thread per client; returns after
+    {!shutdown} (having called {!drain}). *)
+
+val attach : t -> Unix.file_descr -> Unix.file_descr -> unit
+(** Run one client session over an (input, output) descriptor pair in the
+    calling thread — the stdio mode of [asim serve] is exactly this over
+    (stdin, stdout).  Returns once the input hits EOF {e and} every job
+    this client admitted has been answered; the descriptors are not
+    closed.  The caller should then {!drain}. *)
+
+val shutdown : t -> unit
+(** Request shutdown: stop accepting, unblock readers, start draining.
+    Safe to call from a signal handler and more than once. *)
+
+val drain : t -> unit
+(** Finish all admitted jobs, join workers and readers, flush the final
+    metrics snapshot.  Idempotent; {!serve} calls it on the way out. *)
+
+(** {2 Observability} *)
+
+val prometheus : t -> string
+(** The full scrape: serve-layer families ([asim_serve_*], with per-shard
+    labels) followed by the shared job/cache families ([asim_jobs_total],
+    [asim_job_duration_seconds], [asim_cache_*] aggregated over shards). *)
+
+val metrics_file : t -> path:string -> interval:float -> unit
+(** Spawn a writer thread that atomically (write + rename) refreshes
+    [path] with {!prometheus} every [interval] seconds until drained;
+    {!drain} writes one final snapshot. *)
+
+val summary : t -> Asim_batch.Metrics.summary
+(** Shared job metrics plus shard-aggregated cache counters, with wall
+    time measured from {!create}. *)

@@ -1,0 +1,45 @@
+type t = {
+  mutex : Mutex.t;
+  table : (string, string * int) Hashtbl.t;  (** digest -> canonical, components *)
+  capacity : int;
+  mutable uploads : int;
+}
+
+let create ?(capacity = 1024) () =
+  { mutex = Mutex.create (); table = Hashtbl.create 64; capacity = max 1 capacity; uploads = 0 }
+
+type uploaded = { digest : string; components : int; fresh : bool }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let upload t source =
+  match Asim_syntax.Parser.parse_string source with
+  | exception Asim_core.Error.Error e -> Error (Asim_core.Error.to_string e)
+  | exception Failure msg -> Error msg
+  | spec ->
+      let canonical = Asim_core.Pretty.spec spec in
+      let digest = Digest.to_hex (Digest.string canonical) in
+      let components = List.length spec.Asim_core.Spec.components in
+      locked t (fun () ->
+          if Hashtbl.mem t.table digest then begin
+            t.uploads <- t.uploads + 1;
+            Ok { digest; components; fresh = false }
+          end
+          else if Hashtbl.length t.table >= t.capacity then
+            Error
+              (Printf.sprintf "spec store full (%d specs); refusing fresh upload"
+                 t.capacity)
+          else begin
+            Hashtbl.replace t.table digest (canonical, components);
+            t.uploads <- t.uploads + 1;
+            Ok { digest; components; fresh = true }
+          end)
+
+let find t digest =
+  locked t (fun () -> Option.map fst (Hashtbl.find_opt t.table digest))
+
+let count t = locked t (fun () -> Hashtbl.length t.table)
+let capacity t = t.capacity
+let uploads t = locked t (fun () -> t.uploads)

@@ -1,0 +1,479 @@
+(* The network simulation service: content-addressed spec store, shard
+   router, TCP frontend (upload / submit-by-hash, admission control,
+   streaming completion order), and graceful shutdown of the CLI. *)
+
+open Asim_serve
+
+let counter = "# counter\n= 8\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n"
+
+(* The same machine reformatted: must canonicalize to the same digest. *)
+let counter_reformatted =
+  "# counter\n\n=   8\n  count*    inc  .\n\nA inc 4 count 1   { the adder }\nM count 0 inc 1 1\n.\n"
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  go 0
+
+module Json = Asim_batch.Json
+
+(* --- spec store ------------------------------------------------------------- *)
+
+let test_store_roundtrip () =
+  let store = Store.create () in
+  let u1 =
+    match Store.upload store counter with
+    | Ok u -> u
+    | Error e -> Alcotest.failf "upload failed: %s" e
+  in
+  Alcotest.(check bool) "fresh" true u1.Store.fresh;
+  Alcotest.(check int) "components" 2 u1.Store.components;
+  Alcotest.(check bool) "md5 hex digest" true (Asim_batch.Proto.is_md5_hex u1.Store.digest);
+  (* the reformatted source is the same spec: same digest, not fresh *)
+  (match Store.upload store counter_reformatted with
+  | Ok u2 ->
+      Alcotest.(check string) "same canonical digest" u1.Store.digest u2.Store.digest;
+      Alcotest.(check bool) "dedup" false u2.Store.fresh
+  | Error e -> Alcotest.failf "re-upload failed: %s" e);
+  Alcotest.(check int) "one stored spec" 1 (Store.count store);
+  Alcotest.(check int) "two accepted uploads" 2 (Store.uploads store);
+  (match Store.find store u1.Store.digest with
+  | Some canonical ->
+      Alcotest.(check bool) "stores the canonical form" true
+        (contains canonical "A inc 4 count 1")
+  | None -> Alcotest.fail "digest not found");
+  Alcotest.(check (option string)) "unknown digest" None
+    (Store.find store (String.make 32 '0'))
+
+let test_store_rejects_bad_spec () =
+  let store = Store.create () in
+  match Store.upload store "this is not a spec" with
+  | Ok _ -> Alcotest.fail "accepted garbage"
+  | Error _ -> Alcotest.(check int) "nothing stored" 0 (Store.count store)
+
+let test_store_capacity () =
+  let store = Store.create ~capacity:1 () in
+  (match Store.upload store counter with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "first upload failed: %s" e);
+  let other = "# other\n= 4\nx* y .\nA y 4 x 1\nM x 0 y 1 1\n.\n" in
+  (match Store.upload store other with
+  | Ok _ -> Alcotest.fail "exceeded capacity"
+  | Error msg -> Alcotest.(check bool) "names the limit" true (contains msg "full"));
+  (* duplicates of a stored spec still land at capacity *)
+  match Store.upload store counter_reformatted with
+  | Ok u -> Alcotest.(check bool) "duplicate accepted" false u.Store.fresh
+  | Error e -> Alcotest.failf "duplicate refused: %s" e
+
+(* --- shard router ----------------------------------------------------------- *)
+
+let test_router_deterministic () =
+  let digest s = Digest.to_hex (Digest.string s) in
+  for i = 0 to 199 do
+    let d = digest (string_of_int i) in
+    for shards = 1 to 7 do
+      let a = Router.shard_of_digest ~shards d in
+      let b = Router.shard_of_digest ~shards d in
+      Alcotest.(check int) "same digest, same shard" a b;
+      if a < 0 || a >= shards then Alcotest.failf "shard %d out of range" a
+    done
+  done;
+  (* a hash job and the inline canonical it resolves to route together *)
+  let spec = Asim_syntax.Parser.parse_string counter in
+  let canonical = Asim_core.Pretty.spec spec in
+  let h = digest canonical in
+  Alcotest.(check int) "hash and inline colocate"
+    (Router.shard_of_digest ~shards:5 (Router.digest_of_source (Asim_batch.Proto.Hash h)))
+    (Router.shard_of_digest ~shards:5
+       (Router.digest_of_source (Asim_batch.Proto.Inline canonical)))
+
+let test_router_spreads () =
+  (* not a uniformity proof, just: 64 random digests on 4 shards must not
+     all collapse onto one *)
+  let used = Array.make 4 false in
+  for i = 0 to 63 do
+    used.(Router.shard_of_digest ~shards:4 (Digest.to_hex (Digest.string (string_of_int i))))
+    <- true
+  done;
+  Alcotest.(check bool) "more than one shard used" true
+    (Array.to_list used |> List.filter (fun b -> b) |> List.length > 1)
+
+(* --- in-process TCP server --------------------------------------------------- *)
+
+let with_server ?(config = Server.default_config) f =
+  let server = Server.create ~config () in
+  let port = Server.listen server (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) in
+  let th = Thread.create Server.serve server in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.shutdown server;
+      Thread.join th)
+    (fun () -> f server port)
+
+let connect port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  fd
+
+let send fd line =
+  let b = Bytes.of_string (line ^ "\n") in
+  let rec go off =
+    if off < Bytes.length b then go (off + Unix.write fd b off (Bytes.length b - off))
+  in
+  go 0
+
+(* blocking reader; returns the next reply line *)
+let reader fd =
+  let ic = Unix.in_channel_of_descr fd in
+  fun () -> input_line ic
+
+let int_field json key =
+  match Json.member key json with Some (Json.Int i) -> Some i | _ -> None
+
+let str_field json key =
+  match Json.member key json with Some (Json.String s) -> Some s | _ -> None
+
+let test_upload_submit_roundtrip () =
+  with_server (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          send fd (Printf.sprintf {|{"control":"upload","spec":%s,"id":"up"}|}
+                     (Json.to_string (Json.String counter)));
+          let up = Json.parse (next ()) in
+          Alcotest.(check (option string)) "upload ok" (Some "ok") (str_field up "status");
+          Alcotest.(check (option string)) "echoes id" (Some "up") (str_field up "id");
+          let hash = Option.get (str_field up "hash") in
+          (* duplicate upload: same hash, fresh=false *)
+          send fd (Printf.sprintf {|{"control":"upload","spec":%s}|}
+                     (Json.to_string (Json.String counter_reformatted)));
+          let up2 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "same hash" (Some hash) (str_field up2 "hash");
+          Alcotest.(check bool) "not fresh" true
+            (Json.member "fresh" up2 = Some (Json.Bool false));
+          (* submit by hash, twice: the second run must hit the warm shard cache *)
+          send fd (Printf.sprintf {|{"spec_hash":"%s"}|} hash);
+          let r1 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "job ok" (Some "ok") (str_field r1 "status");
+          Alcotest.(check (option int)) "counter runs 8 cycles" (Some 8)
+            (int_field r1 "cycles");
+          send fd (Printf.sprintf {|{"spec_hash":"%s"}|} hash);
+          let r2 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "second job ok" (Some "ok")
+            (str_field r2 "status");
+          (* metrics scrape shows the warm hit on the shard cache *)
+          send fd {|{"control":"metrics"}|};
+          let m = Json.parse (next ()) in
+          let text = Option.get (str_field m "metrics") in
+          Alcotest.(check bool) "served from shard cache" true
+            (contains text "asim_serve_shard_cache_hits{shard=\"0\"} 1");
+          Alcotest.(check bool) "store gauge" true
+            (contains text "asim_serve_store_specs 1")))
+
+let test_cache_warm_span () =
+  (* tracer-level proof that a repeat submit-by-hash is a cache hit *)
+  let tracer = Asim_obs.Tracer.create () in
+  let config = { Server.default_config with Server.tracer } in
+  with_server ~config (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          send fd (Printf.sprintf {|{"control":"upload","spec":%s}|}
+                     (Json.to_string (Json.String counter)));
+          let hash = Option.get (str_field (Json.parse (next ())) "hash") in
+          send fd (Printf.sprintf {|{"spec_hash":"%s"}|} hash);
+          ignore (next ());
+          send fd (Printf.sprintf {|{"spec_hash":"%s"}|} hash);
+          ignore (next ())));
+  let lookups =
+    List.filter
+      (fun (e : Asim_obs.Tracer.event) -> e.name = "batch.cache_lookup")
+      (Asim_obs.Tracer.events tracer)
+  in
+  let outcome (e : Asim_obs.Tracer.event) = List.assoc_opt "outcome" e.args in
+  Alcotest.(check int) "two lookups" 2 (List.length lookups);
+  Alcotest.(check bool) "first is the compile" true
+    (List.exists (fun e -> outcome e = Some "miss") lookups);
+  Alcotest.(check bool) "second hits warm" true
+    (List.exists (fun e -> outcome e = Some "hit") lookups)
+
+let test_unknown_hash () =
+  with_server (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          let bogus = String.make 32 'a' in
+          send fd (Printf.sprintf {|{"spec_hash":"%s","id":"j1"}|} bogus);
+          let r = Json.parse (next ()) in
+          Alcotest.(check (option string)) "status error" (Some "error")
+            (str_field r "status");
+          Alcotest.(check (option string)) "echoes id" (Some "j1") (str_field r "id");
+          Alcotest.(check bool) "names the hash" true
+            (contains (Option.get (str_field r "error")) bogus);
+          (* the connection survives and still serves jobs *)
+          send fd {|{"example":"counter"}|};
+          Alcotest.(check (option string)) "next job ok" (Some "ok")
+            (str_field (Json.parse (next ())) "status")))
+
+let slow_job ?id () =
+  (* an interpreter job big enough to occupy a worker, bounded so tests
+     never hang: it ends as ok or timeout, either is fine *)
+  Printf.sprintf
+    {|{"example":"counter","engine":"interp","cycles":100000000,"timeout_s":0.3%s}|}
+    (match id with Some i -> Printf.sprintf {|,"id":"%s"|} i | None -> "")
+
+let test_quota_exceeded () =
+  let config =
+    { Server.default_config with Server.max_in_flight = 1; queue_depth = 16 }
+  in
+  with_server ~config (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          send fd (slow_job ~id:"slow" ());
+          send fd {|{"example":"counter","id":"fast"}|};
+          (* the quota refusal is immediate, so it streams back first *)
+          let r1 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "rejected" (Some "rejected")
+            (str_field r1 "status");
+          Alcotest.(check (option string)) "the second job" (Some "fast")
+            (str_field r1 "id");
+          Alcotest.(check bool) "names the quota" true
+            (contains (Option.get (str_field r1 "error")) "quota");
+          (* the admitted job still answers *)
+          let r2 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "slow job replies" (Some "slow")
+            (str_field r2 "id")))
+
+let test_queue_full () =
+  let config =
+    { Server.default_config with Server.shards = 1; queue_depth = 1 }
+  in
+  with_server ~config (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          send fd (slow_job ~id:"a" ());
+          send fd (slow_job ~id:"b" ());
+          send fd (slow_job ~id:"c" ());
+          let replies = List.init 3 (fun _ -> Json.parse (next ())) in
+          let statuses = List.filter_map (fun r -> str_field r "status") replies in
+          Alcotest.(check int) "every job answered" 3 (List.length statuses);
+          Alcotest.(check bool) "backpressure surfaced" true
+            (List.mem "overload" statuses);
+          Alcotest.(check bool) "admitted work finished" true
+            (List.exists (fun s -> s = "ok" || s = "timeout") statuses)))
+
+let test_mid_job_disconnect () =
+  let server = Server.create () in
+  let port = Server.listen server (Unix.ADDR_INET (Unix.inet_addr_loopback, 0)) in
+  let th = Thread.create Server.serve server in
+  let fd = connect port in
+  send fd (slow_job ());
+  (* SO_LINGER 0: close sends RST, so the server's reply write fails fast *)
+  Unix.setsockopt_optint fd Unix.SO_LINGER (Some 0);
+  Unix.close fd;
+  (* the server survives the loss and keeps serving other clients *)
+  let fd2 = connect port in
+  send fd2 {|{"example":"counter"}|};
+  let r = Json.parse (reader fd2 ()) in
+  Alcotest.(check (option string)) "other client unaffected" (Some "ok")
+    (str_field r "status");
+  Unix.close fd2;
+  Server.shutdown server;
+  Thread.join th;
+  (* the orphaned result was counted, not silently lost *)
+  let text = Server.prometheus server in
+  let dropped =
+    String.split_on_char '\n' text
+    |> List.find_map (fun l ->
+           match String.split_on_char ' ' l with
+           | [ "asim_serve_dropped_results_total"; v ] -> int_of_string_opt v
+           | _ -> None)
+  in
+  match dropped with
+  | Some n when n >= 1 -> ()
+  | Some n -> Alcotest.failf "dropped counter is %d, want >= 1" n
+  | None -> Alcotest.fail "no dropped-results counter in scrape"
+
+let test_oversized_and_malformed_lines () =
+  let config = { Server.default_config with Server.max_line_bytes = 128 } in
+  with_server ~config (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          (* far past the limit, and not even JSON *)
+          send fd (String.make 500 'x');
+          let r0 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "oversized is an error reply"
+            (Some "error") (str_field r0 "status");
+          Alcotest.(check bool) "names the limit" true
+            (contains (Option.get (str_field r0 "error")) "128 bytes");
+          (* malformed JSON *)
+          send fd "{nope";
+          let r1 = Json.parse (next ()) in
+          Alcotest.(check (option string)) "parse error reply" (Some "error")
+            (str_field r1 "status");
+          (* well-formed JSON, unknown field *)
+          send fd {|{"example":"counter","bogus":1}|};
+          let r2 = Json.parse (next ()) in
+          Alcotest.(check bool) "names the field" true
+            (contains (Option.get (str_field r2 "error")) "bogus");
+          (* line numbers kept counting: 3 requests -> line 3 *)
+          Alcotest.(check (option int)) "line numbering survives" (Some 3)
+            (int_field r2 "line");
+          (* and the connection still works *)
+          send fd {|{"example":"counter"}|};
+          Alcotest.(check (option string)) "still serving" (Some "ok")
+            (str_field (Json.parse (next ())) "status")))
+
+let test_completion_order_streaming () =
+  (* two shards: a fast job behind a slow one on the other shard must not
+     wait for it.  Pick two specs that provably route to different shards. *)
+  let slow_spec = counter in
+  let slow_digest = Router.digest_of_source (Asim_batch.Proto.Inline slow_spec) in
+  let shards = 2 in
+  let slow_shard = Router.shard_of_digest ~shards slow_digest in
+  let fast_spec =
+    let rec hunt i =
+      if i > 50 then Alcotest.fail "no differently-routed spec found"
+      else
+        let s =
+          Printf.sprintf "# v%d\n= 8\ncount* inc .\nA inc 4 count 1\nM count 0 inc 1 1\n.\n" i
+        in
+        if
+          Router.shard_of_digest ~shards (Router.digest_of_source (Asim_batch.Proto.Inline s))
+          <> slow_shard
+        then s
+        else hunt (i + 1)
+    in
+    hunt 0
+  in
+  let config = { Server.default_config with Server.shards } in
+  with_server ~config (fun _server port ->
+      let fd = connect port in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let next = reader fd in
+          send fd
+            (Printf.sprintf
+               {|{"spec":%s,"engine":"interp","cycles":100000000,"timeout_s":0.5,"id":"slow"}|}
+               (Json.to_string (Json.String slow_spec)));
+          send fd
+            (Printf.sprintf {|{"spec":%s,"id":"fast"}|}
+               (Json.to_string (Json.String fast_spec)));
+          let first = Json.parse (next ()) in
+          Alcotest.(check (option string)) "fast job streams back first"
+            (Some "fast") (str_field first "id");
+          Alcotest.(check (option int)) "with its own index" (Some 1)
+            (int_field first "index");
+          let second = Json.parse (next ()) in
+          Alcotest.(check (option string)) "slow job follows" (Some "slow")
+            (str_field second "id")))
+
+(* --- CLI: graceful shutdown -------------------------------------------------- *)
+
+let binary =
+  let dir = Filename.dirname Sys.executable_name in
+  Filename.concat (Filename.concat (Filename.concat dir Filename.parent_dir_name) "bin")
+    "main.exe"
+
+let test_cli_sigterm_graceful () =
+  let port_file = Filename.temp_file "asim-serve" ".port" in
+  Sys.remove port_file;
+  let out = Filename.temp_file "asim-serve" ".out" in
+  let out_fd = Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let pid =
+    Unix.create_process binary
+      [| binary; "serve"; "--tcp"; "0"; "--port-file"; port_file |]
+      Unix.stdin out_fd out_fd
+  in
+  Unix.close out_fd;
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove port_file with Sys_error _ -> ());
+      try Sys.remove out with Sys_error _ -> ())
+    (fun () ->
+      let rec await n =
+        if n = 0 then Alcotest.fail "server never wrote its port file"
+        else if Sys.file_exists port_file && (Unix.stat port_file).Unix.st_size > 0
+        then ()
+        else begin
+          Unix.sleepf 0.1;
+          await (n - 1)
+        end
+      in
+      await 100;
+      let ic = open_in port_file in
+      let port = int_of_string (String.trim (input_line ic)) in
+      close_in ic;
+      (* run one real job through the TCP frontend *)
+      let fd = connect port in
+      send fd {|{"example":"counter"}|};
+      let r = Json.parse (reader fd ()) in
+      Alcotest.(check (option string)) "job served over TCP" (Some "ok")
+        (str_field r "status");
+      Unix.close fd;
+      Unix.kill pid Sys.sigterm;
+      let _, status = Unix.waitpid [] pid in
+      (match status with
+      | Unix.WEXITED 0 -> ()
+      | Unix.WEXITED n -> Alcotest.failf "server exited %d" n
+      | Unix.WSIGNALED s -> Alcotest.failf "server killed by signal %d" s
+      | Unix.WSTOPPED _ -> Alcotest.fail "server stopped");
+      (* the drain printed the final metrics summary *)
+      let ic = open_in out in
+      let n = in_channel_length ic in
+      let text = really_input_string ic n in
+      close_in ic;
+      Alcotest.(check bool) "final summary emitted" true (contains text "batch:"))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "upload round trip and dedup" `Quick test_store_roundtrip;
+          Alcotest.test_case "rejects unparsable specs" `Quick test_store_rejects_bad_spec;
+          Alcotest.test_case "bounded capacity" `Quick test_store_capacity;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "deterministic placement" `Quick test_router_deterministic;
+          Alcotest.test_case "spreads across shards" `Quick test_router_spreads;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "upload / submit-by-hash round trip" `Quick
+            test_upload_submit_roundtrip;
+          Alcotest.test_case "repeat hash submit hits warm cache" `Quick
+            test_cache_warm_span;
+          Alcotest.test_case "unknown hash is a structured error" `Quick
+            test_unknown_hash;
+          Alcotest.test_case "per-client quota" `Quick test_quota_exceeded;
+          Alcotest.test_case "queue-full backpressure" `Quick test_queue_full;
+          Alcotest.test_case "mid-job disconnect" `Quick test_mid_job_disconnect;
+          Alcotest.test_case "oversized and malformed lines" `Quick
+            test_oversized_and_malformed_lines;
+          Alcotest.test_case "results stream in completion order" `Quick
+            test_completion_order_streaming;
+        ] );
+      ( "cli",
+        [
+          Alcotest.test_case "SIGTERM drains and exits 0" `Quick
+            test_cli_sigterm_graceful;
+        ] );
+    ]
