@@ -40,7 +40,7 @@ let cycles_arg =
     & info [ "n"; "cycles" ] ~docv:"N"
         ~doc:"Number of cycles to simulate (default: the spec's = directive).")
 
-let engine_arg =
+let engine_arg_with default =
   let engine_conv =
     Arg.conv
       ( (fun s ->
@@ -51,7 +51,7 @@ let engine_arg =
   in
   Arg.(
     value
-    & opt engine_conv Asim.Compiled
+    & opt engine_conv default
     & info [ "e"; "engine" ] ~docv:"ENGINE"
         ~doc:
           "Simulation engine: $(b,interp) (the ASIM baseline), $(b,compiled) \
@@ -61,6 +61,8 @@ let engine_arg =
            PATH) or $(b,tiered) (starts on $(b,flat), compiles in a \
            background domain and hot-swaps to $(b,native) at a cycle \
            boundary; runs entirely on $(b,flat) when no toolchain answers).")
+
+let engine_arg = engine_arg_with Asim.Compiled
 
 let trace_out_arg =
   Arg.(
@@ -157,7 +159,8 @@ let fault_conv =
   Arg.conv (parse, fun ppf (f : Asim.Fault.fault) -> Format.pp_print_string ppf f.component)
 
 let run_cmd =
-  let run path engine cycles stats quiet vcd faults interactive trace_out stats_json =
+  let run path engine cycles stats quiet vcd faults interactive trace_out stats_json
+      profile =
     let tracer = tracer_for trace_out in
     (* Stage timings come from {!Asim_obs.Clock} so --stats-json is
        deterministic under a mock clock; the same boundaries become
@@ -182,15 +185,18 @@ let run_cmd =
     print_warnings analysis;
     let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
     let config = { Asim.Machine.default_config with trace; faults } in
+    let prof = if profile then Some (Asim.Prof.create analysis) else None in
     let (machine, tiered_status), build_s =
       (* The tiered engine is built through [create_status] so --stats-json
          can record how the swap resolved (swapped/pending/unavailable/...). *)
       timed "pipeline.build" (fun () ->
           match engine with
           | Asim.TieredEngine ->
-              let m, status = Asim.Tiered.create_status ~config ~tracer analysis in
+              let m, status =
+                Asim.Tiered.create_status ~config ~tracer ?prof analysis
+              in
               (m, Some status)
-          | _ -> (Asim.machine ~config ~engine ~tracer analysis, None))
+          | _ -> (Asim.machine ~config ~engine ~tracer ?prof analysis, None))
     in
     let cycles =
       match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:0
@@ -249,6 +255,23 @@ let run_cmd =
        exit 1);
     let run_s = Obs_clock.now () -. run_t0 in
     if stats then print_endline (Asim.Stats.to_string machine.Asim.Machine.stats);
+    let prof_source =
+      match prof with
+      | None -> None
+      | Some _ -> (
+          try
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> Some (really_input_string ic (in_channel_length ic)))
+          with Sys_error _ -> None)
+    in
+    (match prof with
+    | None -> ()
+    | Some p ->
+        Asim.Prof.finalize p;
+        Asim.Prof.emit_spans p tracer;
+        print_string (Asim.Prof.report ?source:prof_source p));
     (match stats_json with
     | None -> ()
     | Some out ->
@@ -269,6 +292,17 @@ let run_cmd =
                     ("run_s", Float run_s);
                   ] );
             ]
+        in
+        let json =
+          match (json, prof) with
+          | Obj fields, Some p ->
+              Obj
+                (fields
+                @ [
+                    ( "profile",
+                      Asim_batch.Runner.prof_to_json ?source:prof_source p );
+                  ])
+          | _ -> json
         in
         let json =
           match (json, tiered_status) with
@@ -326,10 +360,20 @@ let run_cmd =
             "The original's dialogue: prompt for the cycle count and offer to \
              continue to further cycles.")
   in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Attach per-component performance counters to the simulated \
+             machine and print the profile report after the run (also \
+             embedded in $(b,--stats-json) output).  Unsupported on the \
+             $(b,native) engine; pins $(b,tiered) to the flat kernel.")
+  in
   Cmd.v (Cmd.info "run" ~doc:"Simulate a specification.")
     Term.(
       const run $ file_arg $ engine_arg $ cycles_arg $ stats_arg $ quiet_arg $ vcd_arg
-      $ faults_arg $ interactive_arg $ trace_out_arg $ stats_json_arg)
+      $ faults_arg $ interactive_arg $ trace_out_arg $ stats_json_arg $ profile_arg)
 
 (* --- codegen --------------------------------------------------------------- *)
 
@@ -524,21 +568,13 @@ let asm_cmd =
 (* --- profile ----------------------------------------------------------------- *)
 
 let profile_cmd =
-  let run path engine cycles components =
-    let analysis = or_die (load path) in
+  let occupancy engine cycles components (analysis : Asim.Analysis.t) =
+    (* The original occupancy-histogram mode, kept under -c NAME: sample the
+       named components every cycle and histogram their values. *)
     let machine = Asim.machine ~config:Asim.Machine.quiet_config ~engine analysis in
     let cycles =
       match cycles with Some n -> n | None -> Asim.Machine.spec_cycles machine ~default:100
     in
-    let components =
-      match components with
-      | [] -> Asim.Spec.traced_names analysis.Asim.Analysis.spec
-      | cs -> cs
-    in
-    if components = [] then begin
-      prerr_endline "asim: nothing to profile (no traced components; use -c NAME)";
-      exit 1
-    end;
     let profiles =
       try Asim.Profile.run machine ~cycles ~components
       with Asim.Error.Error e ->
@@ -548,17 +584,122 @@ let profile_cmd =
     Printf.printf "%d cycles\n\n" cycles;
     print_string (Asim.Profile.to_string profiles)
   in
+  let run path engine schedule cycles components top sample_every json flame
+      trace_out =
+    let analysis = or_die (load path) in
+    if components <> [] then occupancy engine cycles components analysis
+    else begin
+      let prof =
+        try Asim.Prof.create ~sample_every analysis
+        with Invalid_argument msg ->
+          prerr_endline ("asim: " ^ msg);
+          exit 2
+      in
+      let tracer = tracer_for trace_out in
+      (try
+         let m =
+           Asim.machine ~config:Asim.Machine.quiet_config ~engine ?schedule
+             ~tracer ~prof analysis
+         in
+         let cycles =
+           match cycles with
+           | Some n -> n
+           | None -> Asim.Machine.spec_cycles m ~default:100
+         in
+         Asim.Machine.run m ~cycles
+       with Asim.Error.Error e ->
+         prerr_endline ("asim: " ^ Asim.Error.to_string e);
+         exit 1);
+      Asim.Prof.finalize prof;
+      let source =
+        try
+          let ic = open_in_bin path in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> Some (really_input_string ic (in_channel_length ic)))
+        with Sys_error _ -> None
+      in
+      (match flame with
+      | Some out -> write_text_file out (Asim.Prof.to_flame ?source prof)
+      | None -> ());
+      (match trace_out with
+      | Some _ ->
+          Asim.Prof.emit_spans prof tracer;
+          write_trace trace_out tracer
+      | None -> ());
+      if json then
+        print_endline
+          (Asim_batch.Json.to_string (Asim_batch.Runner.prof_to_json ?source prof))
+      else print_string (Asim.Prof.report ~top ?source prof)
+    end
+  in
   let components_arg =
     Arg.(
       value
       & opt_all string []
       & info [ "c"; "component" ] ~docv:"NAME"
-          ~doc:"Component to sample (repeatable; default: the traced ones).")
+          ~doc:
+            "Switch to the original occupancy-histogram mode: sample NAME \
+             every cycle and report its value histogram (repeatable).")
+  in
+  let top_arg =
+    Arg.(
+      value & opt int 10
+      & info [ "top" ] ~docv:"N"
+          ~doc:"Hot components to list in the report (default 10).")
+  in
+  let sample_every_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "sample-every" ] ~docv:"N"
+          ~doc:
+            "Cycle-profiler period: every Nth cycle is timed per topological \
+             level (default 256; lower is finer but slower).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit the full profile as JSON on stdout (the cost-model \
+             document; schema in docs/profile.schema.json) instead of the \
+             human-readable report.")
+  in
+  let flame_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "flame" ] ~docv:"FILE"
+          ~doc:
+            "Also write folded flame stacks (collapsed-stack format for \
+             flamegraph tools) to FILE.")
+  in
+  let schedule_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("activity", Asim.Flat.Activity); ("full", Asim.Flat.Full) ]))
+          None
+      & info [ "schedule" ] ~docv:"SCHED"
+          ~doc:
+            "Flat-kernel scheduling: $(b,activity) (dirty-bit skipping, the \
+             default — skip counts show what was quiescent) or $(b,full) \
+             (re-evaluate everything every cycle — evaluation counts match \
+             an interpreter recount exactly).  Flat engine only.")
   in
   Cmd.v
     (Cmd.info "profile"
-       ~doc:"Sample component values every cycle and report occupancy histograms.")
-    Term.(const run $ file_arg $ engine_arg $ cycles_arg $ components_arg)
+       ~doc:
+         "Profile the simulated machine: per-component evaluation counts, \
+          dirty-skips, memory traffic and a sampled per-level cycle \
+          profile, with source positions and an estimated cost model.  \
+          With $(b,-c NAME), the original occupancy-histogram mode \
+          instead.  Unsupported on the $(b,native) engine.")
+    Term.(
+      const run $ file_arg $ engine_arg_with Asim.FlatKernel $ schedule_arg
+      $ cycles_arg $ components_arg $ top_arg $ sample_every_arg $ json_arg
+      $ flame_arg $ trace_out_arg)
 
 (* --- gates ------------------------------------------------------------------ *)
 
@@ -868,9 +1009,13 @@ let no_metrics_arg =
     & info [ "no-metrics" ] ~doc:"Suppress the end-of-run metrics summary on stderr.")
 
 let batch_cmd =
-  let run manifest jobs cache_capacity output no_metrics trace_out =
+  let run manifest jobs cache_capacity output no_metrics trace_out profile =
     let tracer = tracer_for trace_out in
-    let t = Asim_batch.Runner.create ~cache_capacity ~tracer () in
+    let t =
+      Asim_batch.Runner.create ~cache_capacity ~tracer
+        ~force_want:(if profile then [ Asim_batch.Proto.Profile ] else [])
+        ()
+    in
     let t0 = Obs_clock.now () in
     let ic =
       try open_in manifest
@@ -909,6 +1054,15 @@ let batch_cmd =
       & info [ "o"; "output" ] ~docv:"FILE"
           ~doc:"Write result lines to FILE instead of stdout.")
   in
+  let profile_arg =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Add $(b,profile) to every job's $(b,want) list: each result \
+             line gains a per-component $(b,profile) object (jobs on the \
+             $(b,native) engine answer with an error).")
+  in
   Cmd.v
     (Cmd.info "batch"
        ~doc:
@@ -916,12 +1070,12 @@ let batch_cmd =
           shared compiled-spec cache; emit one result line per job, in job order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_capacity_arg $ output_arg
-      $ no_metrics_arg $ trace_out_arg)
+      $ no_metrics_arg $ trace_out_arg $ profile_arg)
 
 let serve_cmd =
   let run jobs cache_capacity socket tcp host port_file no_metrics metrics_file
       metrics_interval queue_depth max_in_flight max_line_bytes store_capacity
-      timeout_s trace_out =
+      timeout_s trace_out log_json =
     let tracer = tracer_for trace_out in
     let config =
       {
@@ -936,6 +1090,14 @@ let serve_cmd =
       }
     in
     let server = Asim_serve.Server.create ~config () in
+    if log_json then Asim_serve.Server.log_json server stderr;
+    (* Flush the Chrome-trace buffer as part of the drain itself: a
+       SIGTERM/SIGINT shutdown then leaves a complete --trace-out file even
+       though control never returns through the normal exit path. *)
+    (match trace_out with
+    | Some _ ->
+        Asim_serve.Server.on_drain server (fun () -> write_trace trace_out tracer)
+    | None -> ());
     (match metrics_file with
     | None -> ()
     | Some path ->
@@ -1054,6 +1216,15 @@ let serve_cmd =
             "Default per-job wall-clock budget for jobs that set none \
              (cooperative: long simulations stop at a cycle boundary).")
   in
+  let log_json_arg =
+    Arg.(
+      value & flag
+      & info [ "log-json" ]
+          ~doc:
+            "Structured logging: one JSON object per lifecycle event \
+             (accept, reject, disconnect, drain) on stderr, each with a \
+             $(b,ts) timestamp.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1066,7 +1237,7 @@ let serve_cmd =
       const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ tcp_arg $ host_arg
       $ port_file_arg $ no_metrics_arg $ metrics_file_arg $ metrics_interval_arg
       $ queue_depth_arg $ max_in_flight_arg $ max_line_bytes_arg
-      $ store_capacity_arg $ timeout_arg $ trace_out_arg)
+      $ store_capacity_arg $ timeout_arg $ trace_out_arg $ log_json_arg)
 
 let loadgen_cmd =
   let run host port connections jobs_per_connection example spec_file cycles

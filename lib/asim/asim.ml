@@ -23,6 +23,7 @@ module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
 module Jit = Asim_jit.Jit
 module Tiered = Asim_tiered.Tiered
+module Prof = Asim_prof.Prof
 module Specs = Specs
 
 type engine =
@@ -52,13 +53,21 @@ let load_string source = Analysis.analyze (Parser.parse_string source)
 
 let load_file path = Analysis.analyze (Parser.parse_file path)
 
-let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer analysis =
+let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer ?prof
+    analysis =
   match engine with
-  | Interpreter -> Interp.create ?config analysis
-  | Compiled -> Compile.create ?config ?optimize analysis
-  | FlatKernel -> Flat.create ?config ?schedule ?tracer analysis
-  | Native -> Jit.create ?config ?tracer analysis
-  | TieredEngine -> Tiered.create ?config ?tracer analysis
+  | Interpreter -> Interp.create ?config ?prof analysis
+  | Compiled -> Compile.create ?config ?optimize ?prof analysis
+  | FlatKernel -> Flat.create ?config ?schedule ?tracer ?prof analysis
+  | Native -> (
+      match prof with
+      | None -> Jit.create ?config ?tracer analysis
+      | Some _ ->
+          Error.failf Error.Runtime
+            "the native engine does not support profiling (the generated \
+             plugin carries no counters); use flat, tiered, compiled or \
+             interp")
+  | TieredEngine -> Tiered.create ?config ?tracer ?prof analysis
 
 let run_analysis ?config ?engine ?cycles analysis =
   let m = machine ?config ?engine analysis in

@@ -27,6 +27,7 @@ module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
 module Jit = Asim_jit.Jit
 module Tiered = Asim_tiered.Tiered
+module Prof = Asim_prof.Prof
 
 module Specs : module type of Specs
 (** Embedded example specifications. *)
@@ -62,11 +63,16 @@ val machine :
   ?optimize:bool ->
   ?schedule:Flat.schedule ->
   ?tracer:Asim_obs.Tracer.t ->
+  ?prof:Prof.t ->
   Analysis.t ->
   Machine.t
 (** Instantiate a runnable machine.  Defaults: [Compiled] engine, paper
     optimizations on, {!Machine.default_config}.  [optimize] applies to the
-    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only. *)
+    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only.
+    [prof] attaches an {!Prof} profile to any engine except [Native]
+    (whose generated plugin carries no counters — requesting it raises
+    {!Error.Error}); a profiled [TieredEngine] run is pinned to the
+    instrumented flat kernel. *)
 
 val run_string :
   ?config:Machine.config -> ?engine:engine -> ?cycles:int -> string -> Machine.t

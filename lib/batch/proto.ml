@@ -11,9 +11,11 @@ type want =
   | Events
   | Stats
   | Timing
+  | Profile
 
 type job = {
   id : string option;
+  trace_id : string option;
   source : source;
   engine : Asim.engine;
   optimize : bool;
@@ -30,6 +32,7 @@ let want_of_string = function
   | "events" -> Some Events
   | "stats" -> Some Stats
   | "timing" -> Some Timing
+  | "profile" -> Some Profile
   | _ -> None
 
 let want_to_string = function
@@ -39,10 +42,11 @@ let want_to_string = function
   | Events -> "events"
   | Stats -> "stats"
   | Timing -> "timing"
+  | Profile -> "profile"
 
 let known_fields =
-  [ "id"; "spec_file"; "spec"; "example"; "spec_hash"; "engine"; "optimize"; "cycles";
-    "inputs"; "want"; "timeout_s" ]
+  [ "id"; "trace_id"; "spec_file"; "spec"; "example"; "spec_hash"; "engine"; "optimize";
+    "cycles"; "inputs"; "want"; "timeout_s" ]
 
 let is_md5_hex s =
   String.length s = 32
@@ -74,6 +78,7 @@ let job_of_json json =
         | None -> Ok ()
       in
       let* id = field_opt json "id" Json.to_string_opt ~expected:"a string" in
+      let* trace_id = field_opt json "trace_id" Json.to_string_opt ~expected:"a string" in
       let* spec_file = field_opt json "spec_file" Json.to_string_opt ~expected:"a string" in
       let* inline = field_opt json "spec" Json.to_string_opt ~expected:"a string" in
       let* example = field_opt json "example" Json.to_string_opt ~expected:"a string" in
@@ -152,7 +157,7 @@ let job_of_json json =
         | Some s when s < 0.0 -> Error "field \"timeout_s\" must be non-negative"
         | _ -> Ok ()
       in
-      Ok { id; source; engine; optimize; cycles; inputs; want; timeout_s }
+      Ok { id; trace_id; source; engine; optimize; cycles; inputs; want; timeout_s }
   | _ -> Error "job must be a JSON object"
 
 let request_of_json json =
@@ -201,6 +206,7 @@ let job_to_json job =
   | Inline s -> add "spec" (Json.String s)
   | Example e -> add "example" (Json.String e)
   | Hash h -> add "spec_hash" (Json.String h));
+  Option.iter (fun i -> add "trace_id" (Json.String i)) job.trace_id;
   Option.iter (fun i -> add "id" (Json.String i)) job.id;
   Json.Obj !fields
 
@@ -220,6 +226,7 @@ type outcome = {
   trace : string list;
   events : string list;
   stats_json : Json.t option;
+  profile_json : Json.t option;
   elapsed_s : float;
 }
 
@@ -235,6 +242,9 @@ let result_to_json ~index outcome =
   let add key value = fields := (key, value) :: !fields in
   (* Built in reverse; [add] order below is the reverse of field order. *)
   if wanted Timing then add "elapsed_ms" (Json.Float (outcome.elapsed_s *. 1000.0));
+  (match outcome.profile_json with
+  | Some p when wanted Profile -> add "profile" p
+  | _ -> ());
   (match outcome.stats_json with Some s when wanted Stats -> add "stats" s | _ -> ());
   if wanted Events then
     add "events" (Json.List (List.map (fun e -> Json.String e) outcome.events));

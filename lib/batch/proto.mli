@@ -23,9 +23,20 @@ type want =
   | Events  (** I/O events *)
   | Stats  (** cycle and memory-access statistics *)
   | Timing  (** wall-clock elapsed_ms (breaks byte-determinism) *)
+  | Profile
+      (** per-component profile of the simulated design (evaluation
+          counts, dirty-skips, memory traffic, fault triggers, cost
+          model).  Unsupported on the [native] engine — such jobs answer
+          with a structured error.  The level timing fields inside the
+          reply are wall-clock, so like [Timing] this breaks
+          byte-determinism across runs. *)
 
 type job = {
   id : string option;
+  trace_id : string option;
+      (** client-supplied correlation id; stamped (with [id]) onto every
+          span the job emits — pipeline, batch, codegen, engine — so one
+          Perfetto filter isolates a job end to end *)
   source : source;
   engine : Asim.engine;  (** default [Compiled] *)
   optimize : bool;  (** default [true]; §4.4 optimizations *)
@@ -74,6 +85,7 @@ type outcome = {
   trace : string list;
   events : string list;
   stats_json : Json.t option;
+  profile_json : Json.t option;
   elapsed_s : float;
 }
 

@@ -6,13 +6,16 @@ type t = {
   cache : Asim_analysis.Analysis.t Cache.t;
   metrics : Metrics.t;
   tracer : Tracer.t;
+  force_want : Proto.want list;
 }
 
-let create ?(cache_capacity = 64) ?metrics ?(tracer = Tracer.null) () =
+let create ?(cache_capacity = 64) ?metrics ?(tracer = Tracer.null)
+    ?(force_want = []) () =
   {
     cache = Cache.create ~capacity:cache_capacity;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     tracer;
+    force_want;
   }
 
 let metrics t = t.metrics
@@ -63,6 +66,55 @@ let stats_to_json stats =
       ("total_accesses", Json.Int (Asim.Stats.total_accesses stats));
     ]
 
+let prof_to_json ?source (p : Asim.Prof.t) =
+  Asim.Prof.finalize p;
+  let rows = Asim.Prof.rows ?source p in
+  Json.Obj
+    [
+      ("engine", Json.String p.engine);
+      ("schedule", Json.String p.schedule);
+      ("cycles", Json.Int p.cycles);
+      ("sample_every", Json.Int p.sample_every);
+      ("sampled_cycles", Json.Int p.sampled_cycles);
+      ("levels", Json.Int p.nlevels);
+      ( "components",
+        Json.List
+          (List.map
+             (fun (r : Asim.Prof.row) ->
+               Json.Obj
+                 [
+                   ("slot", Json.Int r.r_slot);
+                   ("name", Json.String r.r_name);
+                   ("kind", Json.String (String.make 1 r.r_kind));
+                   ("level", Json.Int r.r_level);
+                   ("line", Json.Int r.r_line);
+                   ("evals", Json.Int r.r_evals);
+                   ("skips", Json.Int r.r_skips);
+                   ("reads", Json.Int r.r_reads);
+                   ("writes", Json.Int r.r_writes);
+                   ("inputs", Json.Int r.r_inputs);
+                   ("outputs", Json.Int r.r_outputs);
+                   ("faults", Json.Int r.r_faults);
+                   ("words", Json.Int r.r_words);
+                   ("cost", Json.Int r.r_cost);
+                 ])
+             rows) );
+      ( "sampled",
+        Json.Obj
+          [
+            ( "level_ns",
+              Json.List
+                (Array.to_list (Array.map (fun v -> Json.Float v) p.level_ns))
+            );
+            ("mem_ns", Json.Float p.mem_ns);
+            ("total_ns", Json.Float p.sampled_ns);
+          ] );
+      ( "io",
+        Json.Obj
+          [ ("events", Json.Int p.io_events); ("wait_ns", Json.Float p.io_ns) ]
+      );
+    ]
+
 let memory_images (analysis : Asim.Analysis.t) (m : Asim.Machine.t) =
   List.filter_map
     (fun (c : Component.t) ->
@@ -73,11 +125,27 @@ let memory_images (analysis : Asim.Analysis.t) (m : Asim.Machine.t) =
     analysis.Asim_analysis.Analysis.spec.Spec.components
 
 let run_job t (job : Proto.job) =
-  let tr = t.tracer in
-  let job_attr =
-    [ ("engine", Asim.engine_to_string job.Proto.engine) ]
-    @ match job.Proto.id with Some id -> [ ("id", id) ] | None -> []
+  let job =
+    match t.force_want with
+    | [] -> job
+    | extra ->
+        {
+          job with
+          Proto.want =
+            job.Proto.want
+            @ List.filter (fun w -> not (List.mem w job.Proto.want)) extra;
+        }
   in
+  (* Client identity rides on a derived tracer, so every span the job emits
+     — pipeline stages, batch internals, codegen, engine internals like
+     tiered.swap — carries [id]/[trace_id] and one Perfetto filter
+     isolates the job end to end. *)
+  let ident =
+    (match job.Proto.id with Some id -> [ ("id", id) ] | None -> [])
+    @ match job.Proto.trace_id with Some x -> [ ("trace_id", x) ] | None -> []
+  in
+  let tr = Tracer.with_args t.tracer ident in
+  let job_attr = [ ("engine", Asim.engine_to_string job.Proto.engine) ] in
   let t0 = Clock.now () in
   let wanted w = List.mem w job.Proto.want in
   let trace_sink, trace_lines =
@@ -106,10 +174,13 @@ let run_job t (job : Proto.job) =
         "batch.cache_lookup" ~ts:lookup_t0
         ~dur:(if Tracer.is_active tr then Clock.now () -. lookup_t0 else 0.0);
       let config = { Asim.Machine.io; trace = trace_sink; faults = Asim.Fault.none } in
+      let prof =
+        if wanted Proto.Profile then Some (Asim.Prof.create analysis) else None
+      in
       let m =
         Tracer.span tr ~args:job_attr "pipeline.build" (fun () ->
             Asim.machine ~config ~engine:job.Proto.engine ~optimize:job.Proto.optimize
-              ~tracer:tr analysis)
+              ~tracer:tr ?prof analysis)
       in
       let cycles =
         match job.Proto.cycles with
@@ -153,6 +224,18 @@ let run_job t (job : Proto.job) =
           (if wanted Proto.Events then List.map Asim.Io.event_to_string (events ())
            else []);
         stats_json = (if wanted Proto.Stats then Some (stats_to_json m.Asim.Machine.stats) else None);
+        profile_json =
+          (match prof with
+          | None -> None
+          | Some p ->
+              Asim.Prof.finalize p;
+              (* Accumulate into the shared registry under a short spec
+                 digest label, and surface the sampled levels as synthetic
+                 spans next to the job's pipeline spans. *)
+              Asim.Prof.export p ~spec:(String.sub key 0 12)
+                (Metrics.registry t.metrics);
+              Asim.Prof.emit_spans p tr;
+              Some (prof_to_json ~source p));
         elapsed_s = Clock.now () -. t0;
       }
     with
@@ -166,6 +249,7 @@ let run_job t (job : Proto.job) =
           trace = trace_lines ();
           events = [];
           stats_json = None;
+          profile_json = None;
           elapsed_s = Clock.now () -. t0;
         }
     | Sys_error msg | Failure msg ->
@@ -178,6 +262,7 @@ let run_job t (job : Proto.job) =
           trace = trace_lines ();
           events = [];
           stats_json = None;
+          profile_json = None;
           elapsed_s = Clock.now () -. t0;
         }
   in

@@ -7,14 +7,21 @@ type t
     shared by every worker domain. *)
 
 val create :
-  ?cache_capacity:int -> ?metrics:Metrics.t -> ?tracer:Asim_obs.Tracer.t -> unit -> t
+  ?cache_capacity:int ->
+  ?metrics:Metrics.t ->
+  ?tracer:Asim_obs.Tracer.t ->
+  ?force_want:Proto.want list ->
+  unit ->
+  t
 (** [cache_capacity] defaults to 64 analyzed specs.  [metrics] lets several
     sessions share one accumulator — the serving layer gives every shard
     its own cache (and so its own [t]) while keeping one set of job
     counters and latency histograms.  [tracer] (default
     {!Asim_obs.Tracer.null}) receives spans for batch internals — queue
     wait, worker execute, cache lookup, emit — and for each pipeline stage
-    of every job (parse, analyze, build, simulate). *)
+    of every job (parse, analyze, build, simulate).  [force_want] is
+    unioned into every job's [want] list (how [asim batch --profile]
+    profiles a whole manifest without editing it). *)
 
 val metrics : t -> Metrics.t
 (** The session's metrics accumulator (the one passed to {!create}, or the
@@ -32,6 +39,14 @@ val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> strin
 val stats_to_json : Asim.Stats.t -> Json.t
 (** Machine statistics (cycles, per-memory access counters, total) as JSON
     — shared by batch results and [asim run --stats-json]. *)
+
+val prof_to_json : ?source:string -> Asim.Prof.t -> Json.t
+(** A finalized {!Asim.Prof} profile as JSON: run header, one object per
+    component (slot, kind, level, source line, counters, cost model), the
+    sampled per-level timings and the I/O wait totals.  This is the
+    ["profile"] field of batch/serve result lines and the
+    [asim profile --json] document (docs/profile.schema.json describes
+    it).  [source] locates component definition lines. *)
 
 val run_job : t -> Proto.job -> Proto.outcome
 (** Execute one job.  Never raises: spec resolution failures, runtime

@@ -10,6 +10,14 @@ type engine_run = {
   compiler : string option;
 }
 
+type profiling = {
+  prof_cycles : int;
+  off_ns_per_cycle : float;
+  on_ns_per_cycle : float;
+  overhead : float;
+  off_zero_alloc : bool;
+}
+
 type workload = {
   name : string;
   cycles : int;
@@ -20,6 +28,7 @@ type workload = {
   agreement : string option;
   tiered_swap : string;
   engines : engine_run list;
+  profiling : profiling;
 }
 
 type t = { cycles : int; reps : int; workloads : workload list }
@@ -168,9 +177,61 @@ let bench_tiered_warm ~reps ~cycles ~jit_cache_dir analysis =
     compiler = Asim_jit.Jit.toolchain_description ();
   }
 
+(* Profiling overhead: the flat kernel with per-component counters on
+   versus off.  The engine-comparison budget (5545 cycles by default, as
+   low as 300 in CI) is too short for a stable percentage — a single
+   timer quantum swamps it — so this row gets its own budget with a
+   50k-cycle floor and the min of at least three repetitions a side.
+   The off side also re-asserts the hot loop's zero-allocation property
+   (the same bound test_flat enforces: a fixed allowance that must not
+   scale with the cycle count), so the "profiling off costs nothing"
+   claim ships next to the overhead number it justifies. *)
+let bench_profiling ~reps ~cycles analysis =
+  let config = Asim.Machine.quiet_config in
+  let prof_cycles = max 50_000 cycles in
+  let reps = max 5 reps in
+  let one prof_on =
+    let prof = if prof_on then Some (Asim.Prof.create analysis) else None in
+    let m = Asim_flat.Flat.create ~config ?prof analysis in
+    Asim.Machine.run m ~cycles:64;
+    let (), t = time (fun () -> Asim.Machine.run m ~cycles:prof_cycles) in
+    t /. float_of_int prof_cycles *. 1e9
+  in
+  (* Interleave the off/on reps: measuring all of one side first would
+     let clock-frequency and cache drift masquerade as (even negative)
+     overhead. *)
+  ignore (one false);
+  ignore (one true);
+  let off = ref infinity and on = ref infinity in
+  for _ = 1 to reps do
+    off := Float.min !off (one false);
+    on := Float.min !on (one true)
+  done;
+  let off = !off and on = !on in
+  let off_zero_alloc =
+    let m = Asim_flat.Flat.create ~config analysis in
+    Asim.Machine.run m ~cycles:64;
+    let before = Gc.minor_words () in
+    for _ = 1 to 2000 do
+      m.Asim.Machine.step ()
+    done;
+    Gc.minor_words () -. before <= 256.0
+  in
+  {
+    prof_cycles;
+    off_ns_per_cycle = off;
+    on_ns_per_cycle = on;
+    overhead = (if off > 0.0 then (on -. off) /. off else 0.0);
+    off_zero_alloc;
+  }
+
 let run_workload ~reps ~cycles ~check_cycles ~jit_cache_dir ~name
     (spec : Asim.Spec.t) =
   let analysis = Asim.Analysis.analyze spec in
+  (* Measured before the engine rows: the native and tiered benches spawn
+     compiler processes and background domains whose tail can pollute a
+     timing taken right after them. *)
+  let profiling = bench_profiling ~reps ~cycles analysis in
   let base =
     List.map (bench_engine ~reps ~cycles ~jit_cache_dir analysis) (measured ())
   in
@@ -207,6 +268,7 @@ let run_workload ~reps ~cycles ~check_cycles ~jit_cache_dir ~name
     agreement;
     tiered_swap;
     engines;
+    profiling;
   }
 
 (* Both workloads park in halt spins, so any cycle budget is safe. *)
@@ -331,6 +393,13 @@ let table t =
             (match incl_prep_ratio w "tiered-warm" with
             | Some r -> Printf.sprintf "; warm artifact cache: %.2fx incl prep" r
             | None -> ""));
+      pr
+        "  profiling (flat, %d cycles): off %.0f ns/cycle, on %.0f ns/cycle, \
+         overhead %.1f%%; zero-alloc with counters off: %s\n"
+        w.profiling.prof_cycles w.profiling.off_ns_per_cycle
+        w.profiling.on_ns_per_cycle
+        (100.0 *. w.profiling.overhead)
+        (if w.profiling.off_zero_alloc then "yes" else "NO");
       (match w.agreement with
       | None -> pr "  differential check: all engines agree\n"
       | Some d -> pr "  differential check FAILED: %s\n" d);
@@ -397,6 +466,18 @@ let workload_json w =
       ( "tiered_vs_best_incl_prep",
         match tiered_vs_best w with Some r -> Json.Float r | None -> Json.Null );
       ("flat_skip_rate", Json.Float w.flat_skip_rate);
+      ("profiling_overhead", Json.Float w.profiling.overhead);
+      ("prof_off_zero_alloc", Json.Bool w.profiling.off_zero_alloc);
+      ( "profiling",
+        Json.Obj
+          [
+            ("engine", Json.String "flat");
+            ("cycles", Json.Int w.profiling.prof_cycles);
+            ("off_ns_per_cycle", Json.Float w.profiling.off_ns_per_cycle);
+            ("on_ns_per_cycle", Json.Float w.profiling.on_ns_per_cycle);
+            ("overhead", Json.Float w.profiling.overhead);
+            ("off_zero_alloc", Json.Bool w.profiling.off_zero_alloc);
+          ] );
       ("agree", Json.Bool (w.agreement = None));
       ( "divergence",
         match w.agreement with Some d -> Json.String d | None -> Json.Null );

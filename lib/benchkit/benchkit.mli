@@ -34,6 +34,21 @@ type engine_run = {
           compiler and its version for ["native"], [None] otherwise *)
 }
 
+type profiling = {
+  prof_cycles : int;
+      (** dedicated budget for the profiling-overhead row — the workload
+          budget with a 50k-cycle floor, long enough for the percentage
+          to be stable *)
+  off_ns_per_cycle : float;  (** flat kernel, no profiler attached *)
+  on_ns_per_cycle : float;  (** flat kernel with per-component counters *)
+  overhead : float;
+      (** [(on - off) / off] — the cost of leaving counters on, as a
+          fraction; the driver's ceiling is 0.05 *)
+  off_zero_alloc : bool;
+      (** the counters-off hot loop allocated nothing beyond test_flat's
+          fixed allowance — the witness that profiling off costs nothing *)
+}
+
 type workload = {
   name : string;
   cycles : int;
@@ -51,6 +66,10 @@ type workload = {
           (["pending"] below the [Auto] spawn threshold, ["swapped"] past
           it, ["unavailable"] without a toolchain) *)
   engines : engine_run list;
+  profiling : profiling;
+      (** flat-kernel counters-on-vs-off overhead (its own cycle budget,
+          min of at least 3 reps a side) plus the counters-off
+          zero-allocation witness *)
 }
 
 type t = { cycles : int; reps : int; workloads : workload list }

@@ -248,7 +248,7 @@ let compile_memory ctx ~config ~stats (c_name : string) (m : Component.memory) =
   cm.cm_update <- update;
   cm
 
-let create ?(config = Machine.default_config) ?(optimize = true)
+let create ?(config = Machine.default_config) ?(optimize = true) ?prof
     (analysis : Asim_analysis.Analysis.t) =
   let spec = analysis.Asim_analysis.Analysis.spec in
   let components = spec.Spec.components in
@@ -257,6 +257,15 @@ let create ?(config = Machine.default_config) ?(optimize = true)
   let vals = Array.make (List.length components) 0 in
   let cycle = ref 0 in
   let ctx = { ids; vals; cycle; fold = optimize } in
+  (* Profiling is decided at compile time: instrumented closures are only
+     built when a profile is attached, so the off path is the same closure
+     graph as always. *)
+  let config =
+    match prof with
+    | None -> config
+    | Some p ->
+        { config with Machine.io = Asim_prof.Prof.instrument_io p config.Machine.io }
+  in
   let stats =
     Stats.create
       ~memories:
@@ -264,13 +273,38 @@ let create ?(config = Machine.default_config) ?(optimize = true)
            (fun (c : Component.t) -> c.name)
            analysis.Asim_analysis.Analysis.memories)
   in
+  (match prof with
+  | None -> ()
+  | Some p ->
+      Asim_prof.Prof.attach_stats p stats;
+      p.Asim_prof.Prof.engine <- "compiled");
+  let count_fault =
+    match prof with
+    | None -> fun (_ : int) -> ()
+    | Some p ->
+        let pf = p.Asim_prof.Prof.faults in
+        fun id -> pf.(id) <- pf.(id) + 1
+  in
+  let count_eval =
+    match prof with
+    | None -> fun _ f -> f
+    | Some p ->
+        let pe = p.Asim_prof.Prof.evals in
+        fun id f () ->
+          f ();
+          pe.(id) <- pe.(id) + 1
+  in
   let fault_targets = Fault.targets config.Machine.faults in
   let with_fault name f =
     if List.mem name fault_targets then (fun () ->
       f ();
       let id = component_id ctx name in
-      vals.(id) <-
-        Fault.apply config.Machine.faults ~cycle:!cycle ~component:name vals.(id))
+      let old = vals.(id) in
+      let v =
+        Fault.apply config.Machine.faults ~cycle:!cycle ~component:name old
+      in
+      if v <> old then count_fault id;
+      vals.(id) <- v)
     else f
   in
   (* Combinational steps, in dependency order. *)
@@ -284,7 +318,7 @@ let create ?(config = Machine.default_config) ?(optimize = true)
              | Component.Selector sel -> compile_selector ctx c.name sel
              | Component.Memory _ -> assert false
            in
-           with_fault c.name (fun () -> vals.(id) <- body ()))
+           with_fault c.name (count_eval id (fun () -> vals.(id) <- body ())))
     |> Array.of_list
   in
   let memories =
@@ -313,6 +347,11 @@ let create ?(config = Machine.default_config) ?(optimize = true)
            (Array.to_list (Array.map (fun (name, id) -> (name, vals.(id))) traced)))
   in
   let n_mem = Array.length memories in
+  let bump_prof =
+    match prof with
+    | None -> fun () -> ()
+    | Some p -> fun () -> p.Asim_prof.Prof.cycles <- p.Asim_prof.Prof.cycles + 1
+  in
   let step () =
     Array.iter (fun f -> f ()) comb_steps;
     emit_cycle_line ();
@@ -322,6 +361,7 @@ let create ?(config = Machine.default_config) ?(optimize = true)
     for i = 0 to n_mem - 1 do
       memories.(i).cm_update ()
     done;
+    bump_prof ();
     incr cycle;
     Stats.bump_cycle stats
   in

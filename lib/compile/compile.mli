@@ -22,9 +22,13 @@
 val create :
   ?config:Asim_sim.Machine.config ->
   ?optimize:bool ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t
-(** Compile to a runnable machine.  [optimize] defaults to [true]. *)
+(** Compile to a runnable machine.  [optimize] defaults to [true].
+    [prof] attaches an {!Asim_prof.Prof} profile: each combinational thunk
+    is wrapped with an evaluation counter and the I/O handler with a wait
+    timer; without it the closure graph is built uninstrumented. *)
 
 val of_spec :
   ?config:Asim_sim.Machine.config ->

@@ -377,8 +377,9 @@ let program_size ?peephole analysis =
 type state = { s_vals : int array; s_cells : int array }
 
 let create_full ?(config = Machine.default_config) ?(schedule = Activity)
-    ?(tracer = Asim_obs.Tracer.null) ?peephole
+    ?(tracer = Asim_obs.Tracer.null) ?peephole ?prof
     (analysis : Asim_analysis.Analysis.t) =
+  let module Prof = Asim_prof.Prof in
   let module T = Asim_obs.Tracer in
   let p =
     T.span tracer
@@ -417,7 +418,46 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
     Stats.create
       ~memories:(Array.to_list (Array.map (fun m -> m.m_name) p.p_mems))
   in
-  let io = config.Machine.io in
+  (* Profiling is wired at construction time: with [?prof] absent every
+     closure below is exactly the uninstrumented one — the off path carries
+     no per-cycle branch at all (the zero-allocation test pins this). *)
+  (match prof with
+  | None -> ()
+  | Some pr ->
+      Prof.attach_stats pr stats;
+      pr.Prof.engine <- "flat";
+      pr.Prof.schedule <- schedule_to_string schedule;
+      (* Static cost model: flat-program words per component.  Blocks are
+         laid out combinational (evaluation order) then memories
+         (declaration order), so each block ends where the next begins. *)
+      let code_len = Array.length code in
+      for i = 0 to ncomb - 1 do
+        let stop =
+          if i + 1 < ncomb then p.p_comb_entry.(i + 1)
+          else if nmem > 0 then p.p_mems.(0).m_addr_pc
+          else code_len
+        in
+        pr.Prof.words.(p.p_comb_id.(i)) <- stop - p.p_comb_entry.(i)
+      done;
+      Array.iteri
+        (fun k m ->
+          let stop =
+            if k + 1 < nmem then p.p_mems.(k + 1).m_addr_pc else code_len
+          in
+          pr.Prof.words.(m.m_id) <- stop - m.m_addr_pc)
+        p.p_mems);
+  let io =
+    match prof with
+    | None -> config.Machine.io
+    | Some pr -> Prof.instrument_io pr config.Machine.io
+  in
+  let count_fault =
+    match prof with
+    | None -> fun (_ : int) -> ()
+    | Some pr ->
+        let pf = pr.Prof.faults in
+        fun id -> Array.unsafe_set pf id (Array.unsafe_get pf id + 1)
+  in
   let trace = config.Machine.trace in
   let trace_active = not (trace == Trace.null_sink) in
   let faults = config.Machine.faults in
@@ -528,6 +568,63 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
           done))
     done
   in
+  (* Instrumented twins of the two loops above.  One preallocated-array
+     increment per evaluation, slot-indexed (it replaces the
+     position-indexed [evals] bump, so the per-eval work is unchanged);
+     fault triggers count only when the injected fault actually perturbed
+     the value.  Dirty skips are not counted here — every combinational
+     position is considered exactly once per cycle, so [Prof.finalize]
+     derives them as [cycles - evals]. *)
+  let comb_full_prof pe () =
+    for i = 0 to ncomb - 1 do
+      let id = Array.unsafe_get comb_id i in
+      let v = exec (Array.unsafe_get comb_entry i) 0 0 0 in
+      Array.unsafe_set pe id (Array.unsafe_get pe id + 1);
+      let v =
+        if Bytes.unsafe_get comb_fault i = '\000' then v
+        else begin
+          let v' =
+            Fault.apply faults ~cycle:!cycle
+              ~component:(Array.unsafe_get names id)
+              v
+          in
+          if v' <> v then count_fault id;
+          v'
+        end
+      in
+      Array.unsafe_set vals id v
+    done
+  in
+  let comb_activity_prof pe () =
+    for i = 0 to ncomb - 1 do
+      if Bytes.unsafe_get dirty i <> '\000' then begin
+        let id = Array.unsafe_get comb_id i in
+        let v = exec (Array.unsafe_get comb_entry i) 0 0 0 in
+        Bytes.unsafe_set dirty i (Bytes.unsafe_get comb_fault i);
+        Array.unsafe_set pe id (Array.unsafe_get pe id + 1);
+        let v =
+          if Bytes.unsafe_get comb_fault i = '\000' then v
+          else begin
+            let v' =
+              Fault.apply faults ~cycle:!cycle
+                ~component:(Array.unsafe_get names id)
+                v
+            in
+            if v' <> v then count_fault id;
+            v'
+          end
+        in
+        if Array.unsafe_get vals id <> v then begin
+          Array.unsafe_set vals id v;
+          let o = Array.unsafe_get dep_off id in
+          let stop = o + Array.unsafe_get dep_len id in
+          for j = o to stop - 1 do
+            Bytes.unsafe_set dirty (Array.unsafe_get deps j) '\001'
+          done
+        end
+      end
+    done
+  in
   let mems = p.p_mems in
   let mcount = Array.map (fun m -> Stats.memory stats m.m_name) mems in
   let mfault = Array.map (fun m -> List.mem m.m_name fault_targets) mems in
@@ -572,8 +669,12 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
         trace (Trace.write_line ~memory:m.m_name ~address:a ~data:vals.(id));
       if Component.traces_reads op then
         trace (Trace.read_line ~memory:m.m_name ~address:a ~data:vals.(id)));
-    if Array.unsafe_get mfault k then
-      vals.(id) <- Fault.apply faults ~cycle:!cycle ~component:m.m_name vals.(id);
+    (if Array.unsafe_get mfault k then begin
+       let before = Array.unsafe_get vals id in
+       let v = Fault.apply faults ~cycle:!cycle ~component:m.m_name before in
+       if v <> before then count_fault id;
+       Array.unsafe_set vals id v
+     end);
     if activity && Array.unsafe_get vals id <> old then (
       let o = Array.unsafe_get dep_off id in
       let stop = o + Array.unsafe_get dep_len id in
@@ -606,6 +707,115 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
     incr cycle;
     Stats.bump_cycle stats
   in
+  let step =
+    match prof with
+    | None -> step
+    | Some pr ->
+        let pe = pr.Prof.evals in
+        let do_comb_prof =
+          if activity then comb_activity_prof pe else comb_full_prof pe
+        in
+        (* Sampled cycle profiler.  Every [sample_every]-th cycle the
+           combinational wave is evaluated level by level with a clock read
+           per level.  Level-major order is still a valid dependency order
+           (every dependency sits at a strictly smaller level), so dirty
+           marks still only ever point forward and the sampled cycle
+           computes exactly what the position-order cycle would. *)
+        let nlev = max 1 pr.Prof.nlevels in
+        let lvl_of_pos i = pr.Prof.levels.(Array.unsafe_get comb_id i) in
+        let perm = Array.init ncomb (fun i -> i) in
+        Array.sort
+          (fun a b ->
+            match compare (lvl_of_pos a) (lvl_of_pos b) with
+            | 0 -> compare a b
+            | c -> c)
+          perm;
+        let level_start = Array.make (nlev + 1) 0 in
+        Array.iter
+          (fun i -> level_start.(lvl_of_pos i + 1) <- level_start.(lvl_of_pos i + 1) + 1)
+          perm;
+        for l = 0 to nlev - 1 do
+          level_start.(l + 1) <- level_start.(l + 1) + level_start.(l)
+        done;
+        let eval_pos i =
+          if (not activity) || Bytes.unsafe_get dirty i <> '\000' then begin
+            let id = Array.unsafe_get comb_id i in
+            let v = exec (Array.unsafe_get comb_entry i) 0 0 0 in
+            if activity then
+              Bytes.unsafe_set dirty i (Bytes.unsafe_get comb_fault i);
+            Array.unsafe_set pe id (Array.unsafe_get pe id + 1);
+            let v =
+              if Bytes.unsafe_get comb_fault i = '\000' then v
+              else begin
+                let v' =
+                  Fault.apply faults ~cycle:!cycle
+                    ~component:(Array.unsafe_get names id)
+                    v
+                in
+                if v' <> v then count_fault id;
+                v'
+              end
+            in
+            if activity then begin
+              if Array.unsafe_get vals id <> v then begin
+                Array.unsafe_set vals id v;
+                let o = Array.unsafe_get dep_off id in
+                let stop = o + Array.unsafe_get dep_len id in
+                for j = o to stop - 1 do
+                  Bytes.unsafe_set dirty (Array.unsafe_get deps j) '\001'
+                done
+              end
+            end
+            else Array.unsafe_set vals id v
+          end
+        in
+        let level_ns = pr.Prof.level_ns in
+        let comb_sampled () =
+          for l = 0 to nlev - 1 do
+            let t0 = Asim_obs.Clock.now () in
+            for j = level_start.(l) to level_start.(l + 1) - 1 do
+              eval_pos (Array.unsafe_get perm j)
+            done;
+            level_ns.(l) <-
+              level_ns.(l) +. ((Asim_obs.Clock.now () -. t0) *. 1e9)
+          done
+        in
+        let sample_every = pr.Prof.sample_every in
+        let togo = ref 1 in
+        fun () ->
+          let c = !togo - 1 in
+          togo := c;
+          if c = 0 then begin
+            togo := sample_every;
+            let t0 = Asim_obs.Clock.now () in
+            comb_sampled ();
+            emit_cycle_line ();
+            let tm = Asim_obs.Clock.now () in
+            for k = 0 to nmem - 1 do
+              snap k
+            done;
+            for k = 0 to nmem - 1 do
+              update k
+            done;
+            let t1 = Asim_obs.Clock.now () in
+            pr.Prof.mem_ns <- pr.Prof.mem_ns +. ((t1 -. tm) *. 1e9);
+            pr.Prof.sampled_ns <- pr.Prof.sampled_ns +. ((t1 -. t0) *. 1e9);
+            pr.Prof.sampled_cycles <- pr.Prof.sampled_cycles + 1
+          end
+          else begin
+            do_comb_prof ();
+            emit_cycle_line ();
+            for k = 0 to nmem - 1 do
+              snap k
+            done;
+            for k = 0 to nmem - 1 do
+              update k
+            done
+          end;
+          pr.Prof.cycles <- pr.Prof.cycles + 1;
+          incr cycle;
+          Stats.bump_cycle stats
+  in
   let mem_by_name name =
     match Array.find_opt (fun m -> String.equal m.m_name name) mems with
     | Some m -> m
@@ -634,17 +844,31 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
       stats;
     }
   in
-  let counts () = List.init ncomb (fun i -> (names.(comb_id.(i)), evals.(i))) in
+  let counts () =
+    match prof with
+    | None -> List.init ncomb (fun i -> (names.(comb_id.(i)), evals.(i)))
+    | Some pr ->
+        (* The instrumented loops count into the profile's slot-indexed
+           array instead of the position-indexed one. *)
+        List.init ncomb (fun i ->
+            (names.(comb_id.(i)), pr.Asim_prof.Prof.evals.(comb_id.(i))))
+  in
   (machine, counts, { s_vals = vals; s_cells = cells })
 
-let create_debug ?config ?schedule ?tracer ?peephole analysis =
-  let machine, counts, _ = create_full ?config ?schedule ?tracer ?peephole analysis in
+let create_debug ?config ?schedule ?tracer ?peephole ?prof analysis =
+  let machine, counts, _ =
+    create_full ?config ?schedule ?tracer ?peephole ?prof analysis
+  in
   (machine, counts)
 
-let create_exposed ?config ?schedule ?tracer ?peephole analysis =
-  let machine, _, state = create_full ?config ?schedule ?tracer ?peephole analysis in
+let create_exposed ?config ?schedule ?tracer ?peephole ?prof analysis =
+  let machine, _, state =
+    create_full ?config ?schedule ?tracer ?peephole ?prof analysis
+  in
   (machine, state)
 
-let create ?config ?schedule ?tracer ?peephole analysis =
-  let machine, _, _ = create_full ?config ?schedule ?tracer ?peephole analysis in
+let create ?config ?schedule ?tracer ?peephole ?prof analysis =
+  let machine, _, _ =
+    create_full ?config ?schedule ?tracer ?peephole ?prof analysis
+  in
   machine

@@ -42,6 +42,7 @@ val create :
   ?schedule:schedule ->
   ?tracer:Asim_obs.Tracer.t ->
   ?peephole:bool ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t
 (** Compile the analyzed spec to a flat program and return a runnable
@@ -51,13 +52,22 @@ val create :
     a {{!Asim_obs.Tracer}Chrome trace}.  [peephole] (default [true])
     controls the emit-time peephole pass: constant selectors are folded to
     their live case and adjacent disjoint mask/shift loads of the same slot
-    are fused into one term. *)
+    are fused into one term.
+
+    [prof] attaches an {!Asim_prof.Prof} profile: evaluation and fault
+    counters tick in the kernel's hot loops (one preallocated-array
+    increment per evaluation), the flat program's per-component word counts
+    fill the profile's static cost model, the I/O handler is wrapped with a
+    wait timer, and every [sample_every]-th cycle is timed per topological
+    level.  Without [prof] the machine is built from the exact
+    uninstrumented closures — the off path adds no per-cycle work at all. *)
 
 val create_debug :
   ?config:Asim_sim.Machine.config ->
   ?schedule:schedule ->
   ?tracer:Asim_obs.Tracer.t ->
   ?peephole:bool ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t * (unit -> (string * int) list)
 (** Like {!create}, but also returns an inspection function giving the
@@ -80,6 +90,7 @@ val create_exposed :
   ?schedule:schedule ->
   ?tracer:Asim_obs.Tracer.t ->
   ?peephole:bool ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t * state
 (** Like {!create}, but also hands back the machine's live state arrays.

@@ -13,6 +13,7 @@ type symbol = { sym_name : string; mutable value : int }
 
 type memory_state = {
   m_name : string;
+  m_slot : int;  (** spec-declaration-order slot, for profiling *)
   m_symbol : symbol;  (** registered output (the temporary) *)
   addr_s : string;
   data_s : string;
@@ -23,8 +24,8 @@ type memory_state = {
 }
 
 type table_entry =
-  | T_alu of { t_name : string; t_symbol : symbol; fn_s : string; left_s : string; right_s : string }
-  | T_selector of { t_name : string; t_symbol : symbol; select_s : string; case_s : string array }
+  | T_alu of { t_name : string; t_slot : int; t_symbol : symbol; fn_s : string; left_s : string; right_s : string }
+  | T_selector of { t_name : string; t_slot : int; t_symbol : symbol; select_s : string; case_s : string array }
 
 type state = {
   analysis : Asim_analysis.Analysis.t;
@@ -35,6 +36,7 @@ type state = {
   memories : memory_state list;  (** in declaration order *)
   traced : string list;
   has_faults : bool;
+  prof : Asim_prof.Prof.t option;
   mutable cycle : int;
 }
 
@@ -107,24 +109,41 @@ let eval_symbols st expr_s =
 
 (* --- cycle execution --------------------------------------------------------- *)
 
-let fault st name value =
-  if st.has_faults then
-    Fault.apply st.config.Machine.faults ~cycle:st.cycle ~component:name value
+let fault st slot name value =
+  if st.has_faults then begin
+    let v =
+      Fault.apply st.config.Machine.faults ~cycle:st.cycle ~component:name value
+    in
+    (match st.prof with
+    | Some p when v <> value ->
+        p.Asim_prof.Prof.faults.(slot) <- p.Asim_prof.Prof.faults.(slot) + 1
+    | _ -> ());
+    v
+  end
   else value
 
+let count_eval st slot =
+  match st.prof with
+  | None -> ()
+  | Some p -> p.Asim_prof.Prof.evals.(slot) <- p.Asim_prof.Prof.evals.(slot) + 1
+
 let eval_entry st = function
-  | T_alu { t_name; t_symbol; fn_s; left_s; right_s } ->
+  | T_alu { t_name; t_slot; t_symbol; fn_s; left_s; right_s } ->
       let v =
         Component.apply_alu_code (eval_symbols st fn_s)
           ~left:(eval_symbols st left_s) ~right:(eval_symbols st right_s)
       in
-      t_symbol.value <- fault st t_name v
-  | T_selector { t_name; t_symbol; select_s; case_s } ->
+      count_eval st t_slot;
+      t_symbol.value <- fault st t_slot t_name v
+  | T_selector { t_name; t_slot; t_symbol; select_s; case_s } ->
       let index = eval_symbols st select_s in
       if index < 0 || index >= Array.length case_s then
         Machine.selector_out_of_range ~component:t_name ~cycle:st.cycle ~index
           ~cases:(Array.length case_s)
-      else t_symbol.value <- fault st t_name (eval_symbols st case_s.(index))
+      else begin
+        count_eval st t_slot;
+        t_symbol.value <- fault st t_slot t_name (eval_symbols st case_s.(index))
+      end
 
 let update_memory st ms =
   let address = ms.addr_snapshot in
@@ -157,7 +176,7 @@ let update_memory st ms =
       (Trace.read_line ~memory:ms.m_name ~address ~data:ms.m_symbol.value);
   (* Faults perturb the registered output as seen from the next cycle on;
      the trace shows what the healthy cell transferred. *)
-  ms.m_symbol.value <- fault st ms.m_name ms.m_symbol.value
+  ms.m_symbol.value <- fault st ms.m_slot ms.m_name ms.m_symbol.value
 
 let step st () =
   (* 1. Combinational components in dependency order. *)
@@ -175,16 +194,27 @@ let step st () =
     st.memories;
   (* 4. Latch memories in declaration order. *)
   List.iter (update_memory st) st.memories;
+  (match st.prof with
+  | None -> ()
+  | Some p -> p.Asim_prof.Prof.cycles <- p.Asim_prof.Prof.cycles + 1);
   st.cycle <- st.cycle + 1;
   Stats.bump_cycle st.stats
 
 (* --- construction ------------------------------------------------------------- *)
 
-let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis.t) =
+let create ?(config = Machine.default_config) ?prof
+    (analysis : Asim_analysis.Analysis.t) =
   let spec = analysis.Asim_analysis.Analysis.spec in
   let symbol_of (c : Component.t) = { sym_name = c.name; value = 0 } in
   let symbols = List.map symbol_of spec.Spec.components in
   let symbol name = List.find (fun s -> String.equal s.sym_name name) symbols in
+  (* Slot = position in declaration order, the same layout every profiled
+     engine indexes its counter arrays by. *)
+  let slots = Hashtbl.create 64 in
+  List.iteri
+    (fun i (c : Component.t) -> Hashtbl.replace slots c.name i)
+    spec.Spec.components;
+  let slot name = Hashtbl.find slots name in
   let entries =
     List.map
       (fun (c : Component.t) ->
@@ -193,6 +223,7 @@ let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis
             T_alu
               {
                 t_name = c.name;
+                t_slot = slot c.name;
                 t_symbol = symbol c.name;
                 fn_s = Expr.to_string fn;
                 left_s = Expr.to_string left;
@@ -202,6 +233,7 @@ let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis
             T_selector
               {
                 t_name = c.name;
+                t_slot = slot c.name;
                 t_symbol = symbol c.name;
                 select_s = Expr.to_string select;
                 case_s = Array.map Expr.to_string cases;
@@ -216,6 +248,7 @@ let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis
         | Component.Memory m ->
             {
               m_name = c.name;
+              m_slot = slot c.name;
               m_symbol = symbol c.name;
               addr_s = Expr.to_string m.addr;
               data_s = Expr.to_string m.data;
@@ -230,6 +263,12 @@ let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis
         | Component.Alu _ | Component.Selector _ -> assert false)
       analysis.Asim_analysis.Analysis.memories
   in
+  let config =
+    match prof with
+    | None -> config
+    | Some p ->
+        { config with Machine.io = Asim_prof.Prof.instrument_io p config.Machine.io }
+  in
   let st =
     {
       analysis;
@@ -240,9 +279,15 @@ let create ?(config = Machine.default_config) (analysis : Asim_analysis.Analysis
       memories;
       traced = Spec.traced_names spec;
       has_faults = config.Machine.faults <> [];
+      prof;
       cycle = 0;
     }
   in
+  (match prof with
+  | None -> ()
+  | Some p ->
+      Asim_prof.Prof.attach_stats p st.stats;
+      p.Asim_prof.Prof.engine <- "interpreter");
   let memory_by_name name =
     match List.find_opt (fun ms -> String.equal ms.m_name name) st.memories with
     | Some ms -> ms

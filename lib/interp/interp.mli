@@ -11,9 +11,17 @@
     lines, I/O events, statistics) is identical to [Asim_compile]. *)
 
 val create :
-  ?config:Asim_sim.Machine.config -> Asim_analysis.Analysis.t -> Asim_sim.Machine.t
+  ?config:Asim_sim.Machine.config ->
+  ?prof:Asim_prof.Prof.t ->
+  Asim_analysis.Analysis.t ->
+  Asim_sim.Machine.t
 (** Build an interpreted machine.  Default config is
-    {!Asim_sim.Machine.default_config}. *)
+    {!Asim_sim.Machine.default_config}.  [prof] attaches an
+    {!Asim_prof.Prof} profile (per-component evaluation and fault
+    counters; memory traffic is finalized from the machine statistics).
+    This engine re-evaluates every combinational component every cycle, so
+    a profiled interpreter run is the independent recount the flat
+    kernel's counters are cross-checked against. *)
 
 val of_spec : ?config:Asim_sim.Machine.config -> Asim_core.Spec.t -> Asim_sim.Machine.t
 (** [create] after [Asim_analysis.Analysis.analyze]. *)

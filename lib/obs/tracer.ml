@@ -11,12 +11,20 @@ type active = { mutex : Mutex.t; mutable events : event list; mutable count : in
 type t =
   | Null
   | Active of active
+  | Tagged of active * (string * string) list
+      (** shares an [Active] buffer; appends its context args to every span *)
 
 let null = Null
 
 let create () = Active { mutex = Mutex.create (); events = []; count = 0 }
 
-let is_active = function Null -> false | Active _ -> true
+let is_active = function Null -> false | Active _ | Tagged _ -> true
+
+let with_args t args =
+  match (t, args) with
+  | Null, _ | _, [] -> t
+  | Active a, args -> Tagged (a, args)
+  | Tagged (a, base), args -> Tagged (a, base @ args)
 
 let record a ev =
   Mutex.lock a.mutex;
@@ -29,7 +37,13 @@ let domain_id () = (Domain.self () :> int)
 let span t ?(args = []) name f =
   match t with
   | Null -> f ()
-  | Active a ->
+  | Active _ | Tagged _ ->
+      let a, args =
+        match t with
+        | Active a -> (a, args)
+        | Tagged (a, base) -> (a, args @ base)
+        | Null -> assert false
+      in
       let t0 = Clock.now () in
       Fun.protect
         ~finally:(fun () ->
@@ -50,10 +64,19 @@ let span_at t ?(args = []) name ~ts ~dur =
   | Active a ->
       record a
         { name; ts_us = ts *. 1e6; dur_us = dur *. 1e6; tid = domain_id (); args }
+  | Tagged (a, base) ->
+      record a
+        {
+          name;
+          ts_us = ts *. 1e6;
+          dur_us = dur *. 1e6;
+          tid = domain_id ();
+          args = args @ base;
+        }
 
 let events = function
   | Null -> []
-  | Active a ->
+  | Active a | Tagged (a, _) ->
       Mutex.lock a.mutex;
       let evs = List.rev a.events in
       Mutex.unlock a.mutex;
@@ -61,7 +84,7 @@ let events = function
 
 let event_count = function
   | Null -> 0
-  | Active a ->
+  | Active a | Tagged (a, _) ->
       Mutex.lock a.mutex;
       let n = a.count in
       Mutex.unlock a.mutex;

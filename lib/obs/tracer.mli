@@ -32,6 +32,15 @@ val create : unit -> t
 
 val is_active : t -> bool
 
+val with_args : t -> (string * string) list -> t
+(** A derived tracer sharing the same event buffer that appends the given
+    context args to every span it records — how per-job identity
+    ([job_id], [trace_id]) gets stamped onto pipeline, codegen and engine
+    spans without threading labels through every call site.  Deriving from
+    {!null} is still {!null} (and costs nothing); deriving twice
+    accumulates args (outer context first).  Explicit per-span [args] win:
+    they render before the inherited context. *)
+
 val span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** Run the thunk inside a timed span.  The span is recorded even when the
     thunk raises.  Nested calls nest naturally in the viewer (enclosing

@@ -81,6 +81,9 @@ type t = {
   mutable metrics_path : string option;
   mutable metrics_writer : Thread.t option;
   writer_stop : bool Atomic.t;
+  mutable drain_hooks : (unit -> unit) list;  (** run once, when drain completes *)
+  log_mutex : Mutex.t;  (** serializes structured log lines *)
+  mutable log : (string -> (string * Json.t) list -> unit) option;
   started : float;
   next_cid : int Atomic.t;
   connections_c : Registry.counter;
@@ -90,6 +93,36 @@ type t = {
 
 let config t = t.cfg
 let store t = t.store
+
+let on_drain t hook =
+  Mutex.lock t.mutex;
+  t.drain_hooks <- hook :: t.drain_hooks;
+  Mutex.unlock t.mutex
+
+let log_event t event fields =
+  match t.log with
+  | None -> ()
+  | Some emit -> emit event fields
+
+let log_json t oc =
+  t.log <-
+    Some
+      (fun event fields ->
+        let line =
+          Json.to_string
+            (Json.Obj
+               (("ts", Json.Float (Clock.now ()))
+               :: ("event", Json.String event)
+               :: fields))
+        in
+        Mutex.lock t.log_mutex;
+        (try
+           output_string oc line;
+           output_char oc '\n';
+           flush oc
+         with Sys_error _ -> ());
+        Mutex.unlock t.log_mutex)
+
 let shard_label sid = [ ("shard", string_of_int sid) ]
 
 let requests_c t kind =
@@ -188,7 +221,11 @@ let run_task t shard task =
   let attrs =
     ("shard", string_of_int shard.sid)
     :: ("index", string_of_int task.t_index)
-    :: (match task.t_job.Proto.id with Some id -> [ ("id", id) ] | None -> [])
+    :: ((match task.t_job.Proto.id with Some id -> [ ("id", id) ] | None -> [])
+       @
+       match task.t_job.Proto.trace_id with
+       | Some x -> [ ("trace_id", x) ]
+       | None -> [])
   in
   let picked = Clock.now () in
   Registry.observe (queue_wait_h t shard.sid) (picked -. task.t_admitted);
@@ -247,6 +284,12 @@ let admit t client ~index (job : Proto.job) =
   let id = job.Proto.id in
   let refuse ~reason ~status msg =
     Registry.inc (rejected_c t reason);
+    log_event t "reject"
+      (("client", Json.Int client.cid)
+      :: ("index", Json.Int index)
+      :: ("reason", Json.String reason)
+      :: ("status", Json.String status)
+      :: (match id with Some i -> [ ("id", Json.String i) ] | None -> []));
     send client (refusal_line ~index ~id ~status msg) |> ignore
   in
   (* resolve the spec store up front: unknown hashes fail fast, and workers
@@ -526,6 +569,11 @@ let register_client t ~tcp ~close_on_exit rfd wfd =
   in
   Registry.inc t.connections_c;
   Registry.gauge_add t.connected_g 1.0;
+  log_event t "accept"
+    [
+      ("client", Json.Int client.cid);
+      ("transport", Json.String (if tcp then "tcp" else "pipe"));
+    ];
   Mutex.lock t.mutex;
   t.clients <- client :: t.clients;
   let draining = t.draining in
@@ -554,6 +602,7 @@ let session t client =
   end;
   Mutex.unlock client.wmutex;
   Registry.gauge_add t.connected_g (-1.0);
+  log_event t "disconnect" [ ("client", Json.Int client.cid) ];
   Mutex.lock t.mutex;
   t.clients <- List.filter (fun c -> c.cid <> client.cid) t.clients;
   Mutex.unlock t.mutex
@@ -649,6 +698,9 @@ let create ?(config = default_config) () =
       metrics_path = None;
       metrics_writer = None;
       writer_stop = Atomic.make false;
+      drain_hooks = [];
+      log_mutex = Mutex.create ();
+      log = None;
       started = Clock.now ();
       next_cid = Atomic.make 0;
       connections_c =
@@ -691,6 +743,16 @@ let metrics_file t ~path ~interval =
   in
   t.metrics_writer <- Some (Thread.create writer ())
 
+(* Registered drain hooks run exactly once, after every job is answered and
+   every worker joined — the point where a trace buffer is complete and safe
+   to flush (the [--trace-out] file survives a SIGTERM drain this way). *)
+let run_drain_hooks t =
+  Mutex.lock t.mutex;
+  let hooks = t.drain_hooks in
+  t.drain_hooks <- [];
+  Mutex.unlock t.mutex;
+  List.iter (fun hook -> try hook () with _ -> ()) (List.rev hooks)
+
 let drain t =
   Mutex.lock t.mutex;
   if t.drained then Mutex.unlock t.mutex
@@ -698,10 +760,12 @@ let drain t =
           && Array.for_all (fun s -> s.domain = None) t.shards
   then begin
     t.drained <- true;
-    Mutex.unlock t.mutex
+    Mutex.unlock t.mutex;
+    run_drain_hooks t
   end
   else begin
     Mutex.unlock t.mutex;
+    log_event t "drain" [];
     unblock t;
     (* run every admitted job dry, then retire the workers *)
     Array.iter
@@ -744,6 +808,8 @@ let drain t =
     | None -> ());
     (try Unix.close t.wake_r with Unix.Unix_error _ -> ());
     (try Unix.close t.wake_w with Unix.Unix_error _ -> ());
+    run_drain_hooks t;
+    log_event t "drained" [];
     Mutex.lock t.mutex;
     t.drained <- true;
     Condition.broadcast t.cond;

@@ -84,6 +84,24 @@ val drain : t -> unit
 (** Finish all admitted jobs, join workers and readers, flush the final
     metrics snapshot.  Idempotent; {!serve} calls it on the way out. *)
 
+val on_drain : t -> (unit -> unit) -> unit
+(** Register a hook to run exactly once when {!drain} completes — after
+    every admitted job has been answered and every worker joined, before
+    control returns.  This is how [asim serve --trace-out] flushes its
+    Chrome-trace buffer on a SIGTERM/SIGINT drain: at hook time the span
+    buffer is complete.  Hooks run in registration order; exceptions are
+    swallowed.  A hook registered after the drain already completed never
+    runs. *)
+
+val log_json : t -> out_channel -> unit
+(** Switch on structured logging: one JSON object per line on [oc] for
+    every lifecycle event — [accept] (client id, transport), [reject]
+    (admission refusals with reason and status), [disconnect], [drain] /
+    [drained].  Each line carries a ["ts"] from {!Asim_obs.Clock.now}, so
+    logs are deterministic under a mock clock.  Lines are serialized
+    under a mutex; write failures are ignored (logging must never take
+    the service down). *)
+
 (** {2 Observability} *)
 
 val prometheus : t -> string

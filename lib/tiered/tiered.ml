@@ -124,15 +124,22 @@ let default_warn msg =
 (* --- the engine -------------------------------------------------------------- *)
 
 let create_status ?(config = Machine.default_config) ?(tracer = Tracer.null)
-    ?cache_dir ?swap_at ?(on_warning = default_warn)
+    ?cache_dir ?swap_at ?(on_warning = default_warn) ?prof
     (analysis : Analysis.t) =
   let policy =
     match swap_at with
     | Some p -> p
     | None -> ( match env_policy () with Some p -> p | None -> Auto)
   in
+  (* A profiled run is pinned to the flat kernel: the native plugin carries
+     no counters, so a hot-swap would silently stop the profile mid-run.
+     Attribution beats speed when the caller asked to measure. *)
+  let policy = match prof with None -> policy | Some _ -> Never in
   let skew = skew_requested () in
-  let flat, st = Flat.create_exposed ~config ~tracer analysis in
+  let flat, st = Flat.create_exposed ~config ~tracer ?prof analysis in
+  (match prof with
+  | None -> ()
+  | Some p -> p.Asim_prof.Prof.engine <- "tiered(flat-pinned)");
   let current = ref flat in
   let current_step = ref flat.Machine.step in
   let state = ref Pending in
@@ -279,5 +286,5 @@ let create_status ?(config = Machine.default_config) ?(tracer = Tracer.null)
   in
   (machine, status)
 
-let create ?config ?tracer ?cache_dir ?swap_at ?on_warning analysis =
-  fst (create_status ?config ?tracer ?cache_dir ?swap_at ?on_warning analysis)
+let create ?config ?tracer ?cache_dir ?swap_at ?on_warning ?prof analysis =
+  fst (create_status ?config ?tracer ?cache_dir ?swap_at ?on_warning ?prof analysis)

@@ -99,6 +99,7 @@ val create_status :
   ?cache_dir:string ->
   ?swap_at:policy ->
   ?on_warning:(string -> unit) ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t * (unit -> status)
 (** Build a tiered machine plus an inspection function reporting which
@@ -107,7 +108,13 @@ val create_status :
     malformed value), else [Auto].  [on_warning] receives the single
     no-toolchain warning line (default: stderr, once per process).
     [cache_dir] routes the background compile's artifact cache exactly as
-    for {!Asim_jit.Jit.create}. *)
+    for {!Asim_jit.Jit.create}.
+
+    [prof] attaches an {!Asim_prof.Prof} profile {e and pins the run to
+    the instrumented flat kernel} (policy forced to [Never], status
+    [Disabled]): the native plugin carries no counters, so swapping would
+    silently stop the profile mid-run.  Profiled runs trade the JIT
+    speedup for complete attribution. *)
 
 val create :
   ?config:Asim_sim.Machine.config ->
@@ -115,6 +122,7 @@ val create :
   ?cache_dir:string ->
   ?swap_at:policy ->
   ?on_warning:(string -> unit) ->
+  ?prof:Asim_prof.Prof.t ->
   Asim_analysis.Analysis.t ->
   Asim_sim.Machine.t
 (** {!create_status} without the inspection function. *)

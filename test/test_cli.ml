@@ -200,6 +200,49 @@ let test_profile () =
         (run_cli (Printf.sprintf "profile %s -c count -n 4" (Filename.quote path)))
         [ "4 cycles"; "count (4 samples):" ])
 
+(* The default profiler mode: the human report names the spec's
+   components, and the --json cost-model document's per-component eval
+   counts under full scheduling exactly match an independent
+   interp-engine recount — the acceptance identity, end-to-end through
+   the CLI. *)
+let test_profile_counters () =
+  with_spec counter (fun path ->
+      check_ok "profile report"
+        (run_cli (Printf.sprintf "profile %s" (Filename.quote path)))
+        [ "profile: engine=flat"; "inc"; "count" ];
+      let evals_of args =
+        let code, text =
+          run_cli
+            (Printf.sprintf "profile %s --json %s" (Filename.quote path) args)
+        in
+        if code <> 0 then Alcotest.failf "profile --json: exit %d:\n%s" code text;
+        let j = Asim_batch.Json.parse text in
+        match
+          Option.bind (Asim_batch.Json.member "components" j)
+            Asim_batch.Json.to_list
+        with
+        | None -> Alcotest.failf "profile --json: no components in:\n%s" text
+        | Some comps ->
+            List.map
+              (fun c ->
+                let str f =
+                  Option.get
+                    (Option.bind (Asim_batch.Json.member f c)
+                       Asim_batch.Json.to_string_opt)
+                in
+                let num f =
+                  Option.get
+                    (Option.bind (Asim_batch.Json.member f c)
+                       Asim_batch.Json.to_int)
+                in
+                (str "name", num "evals"))
+              comps
+      in
+      let flat_full = evals_of "--schedule full" in
+      let interp = evals_of "-e interp" in
+      Alcotest.(check (list (pair string int)))
+        "flat(full) evals match interp recount" interp flat_full)
+
 let test_coverage () =
   with_spec counter (fun path ->
       check_ok "coverage"
@@ -642,6 +685,7 @@ let () =
           Alcotest.test_case "gates" `Quick test_gates;
           Alcotest.test_case "asm" `Quick test_asm;
           Alcotest.test_case "profile" `Quick test_profile;
+          Alcotest.test_case "profile counters" `Quick test_profile_counters;
           Alcotest.test_case "interactive" `Quick test_interactive;
           Alcotest.test_case "wavediff" `Quick test_wavediff;
           Alcotest.test_case "coverage" `Quick test_coverage;

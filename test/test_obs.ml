@@ -59,6 +59,7 @@ let test_batch_job_deterministic_under_mock_clock () =
       let job =
         {
           Asim_batch.Proto.id = Some "frozen";
+          trace_id = None;
           source = Asim_batch.Proto.Inline counter_spec;
           engine = Asim.Compiled;
           optimize = true;
@@ -156,6 +157,57 @@ let test_prometheus_export () =
   (* deterministic: same state renders byte-identically *)
   Alcotest.(check string) "stable render" text (Registry.to_prometheus reg)
 
+(* Percentile export must stay sound while writers are mid-flight: four
+   domains hammer one histogram while a scraper thread renders the
+   registry and reads quantiles the whole time.  The scraper records any
+   violation (exception, non-monotone p50/p90/p99) instead of raising —
+   an exception inside a Thread would only kill that thread, not fail
+   the test — and the main thread asserts afterwards. *)
+let test_concurrent_histogram () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "asim_conc_seconds" ~help:"h" in
+  let writers = 4 and per = 5_000 in
+  let stop = Atomic.make false in
+  let bad = ref None in
+  let scrapes = ref 0 in
+  let scraper =
+    Thread.create
+      (fun () ->
+        try
+          while not (Atomic.get stop) do
+            ignore (String.length (Registry.to_prometheus reg));
+            let p50 = Registry.quantile h 0.5 in
+            let p90 = Registry.quantile h 0.9 in
+            let p99 = Registry.quantile h 0.99 in
+            if not (p50 <= p90 && p90 <= p99) then
+              bad :=
+                Some
+                  (Printf.sprintf "non-monotone quantiles: %g / %g / %g" p50
+                     p90 p99);
+            incr scrapes;
+            Thread.yield ()
+          done
+        with e -> bad := Some ("scraper raised: " ^ Printexc.to_string e))
+      ()
+  in
+  let domains =
+    List.init writers (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per do
+              Registry.observe h
+                (0.001 *. float_of_int ((((d * per) + i) mod 97) + 1))
+            done))
+  in
+  List.iter Domain.join domains;
+  Atomic.set stop true;
+  Thread.join scraper;
+  (match !bad with Some msg -> Alcotest.fail msg | None -> ());
+  Alcotest.(check bool) "scraper ran" true (!scrapes > 0);
+  Alcotest.(check int) "no observation lost" (writers * per)
+    (Registry.hist_count h);
+  Alcotest.(check bool) "final quantiles monotone" true
+    (Registry.quantile h 0.5 <= Registry.quantile h 0.99)
+
 (* --- tracer ---------------------------------------------------------------- *)
 
 let test_null_tracer () =
@@ -219,6 +271,37 @@ let test_chrome_json () =
       feq "explicit dur" 2_000_000.0 (num "dur" b)
   | _ -> Alcotest.fail "expected a 2-event array"
 
+(* [with_args] derives a tagged view over the same buffer: every span it
+   records carries the context pairs after its own args, deriving again
+   accumulates, and the degenerate cases (null tracer, empty list) are
+   identities. *)
+let test_with_args () =
+  let c = Clock.manual ~start:0.0 () in
+  Clock.with_source (Clock.manual_source c) (fun () ->
+      Alcotest.(check bool) "null stays null" false
+        (Tracer.is_active (Tracer.with_args Tracer.null [ ("id", "x") ]));
+      let tr = Tracer.create () in
+      Alcotest.(check bool) "empty args is identity" true
+        (Tracer.with_args tr [] == tr);
+      let tagged = Tracer.with_args tr [ ("job", "j1") ] in
+      Alcotest.(check bool) "tagged view active" true (Tracer.is_active tagged);
+      Tracer.span tagged "work" ~args:[ ("k", "v") ] (fun () ->
+          Clock.advance c 0.1);
+      let more = Tracer.with_args tagged [ ("trace", "t9") ] in
+      Tracer.span_at more "mark" ~ts:1.0 ~dur:0.5;
+      Alcotest.(check int) "one shared buffer" 2 (Tracer.event_count tr);
+      match Tracer.events tr with
+      | [ a; b ] ->
+          Alcotest.(check (list (pair string string)))
+            "own args first, then the tag"
+            [ ("k", "v"); ("job", "j1") ]
+            a.Tracer.args;
+          Alcotest.(check (list (pair string string)))
+            "derived view accumulates tags"
+            [ ("job", "j1"); ("trace", "t9") ]
+            b.Tracer.args
+      | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs))
+
 let () =
   Alcotest.run "obs"
     [
@@ -239,11 +322,14 @@ let () =
           Alcotest.test_case "gauge" `Quick test_gauge;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
           Alcotest.test_case "prometheus export" `Quick test_prometheus_export;
+          Alcotest.test_case "concurrent writers vs scraper" `Quick
+            test_concurrent_histogram;
         ] );
       ( "tracer",
         [
           Alcotest.test_case "null is free" `Quick test_null_tracer;
           Alcotest.test_case "span records" `Quick test_span_records;
           Alcotest.test_case "chrome json" `Quick test_chrome_json;
+          Alcotest.test_case "with_args tagging" `Quick test_with_args;
         ] );
     ]
