@@ -1,12 +1,11 @@
 open Asim_core
 
-let combinational_names spec =
-  List.filter_map
-    (fun (c : Component.t) -> if Component.is_memory c then None else Some c.name)
-    spec.Spec.components
-
 let dependencies spec (c : Component.t) =
-  let comb = combinational_names spec in
+  let comb = Hashtbl.create 64 in
+  List.iter
+    (fun (c : Component.t) ->
+      if not (Component.is_memory c) then Hashtbl.replace comb c.name ())
+    spec.Spec.components;
   let inputs = Component.combinational_inputs c in
   let referenced = List.concat_map Expr.names inputs in
   let seen = Hashtbl.create 8 in
@@ -15,39 +14,77 @@ let dependencies spec (c : Component.t) =
       if Hashtbl.mem seen name then false
       else begin
         Hashtbl.add seen name ();
-        List.mem name comb
+        Hashtbl.mem comb name
       end)
     referenced
 
 let order spec =
   let comb =
     List.filter (fun c -> not (Component.is_memory c)) spec.Spec.components
+    |> Array.of_list
   in
-  let deps = List.map (fun c -> (c, dependencies spec c)) comb in
-  (* Kahn's algorithm, always taking the earliest-declared ready component so
-     the order is deterministic and close to the source. *)
-  let rec go placed_names placed pending =
-    if pending = [] then List.rev placed
-    else
-      let ready, blocked =
-        List.partition
-          (fun (_, ds) -> List.for_all (fun d -> List.mem d placed_names) ds)
-          pending
-      in
-      match ready with
-      | [] ->
-          (* Every remaining component is on or behind a cycle; report the
-             first two for a diagnostic in the paper's style. *)
-          let names = List.map (fun ((c : Component.t), _) -> c.name) blocked in
-          let a = List.nth names 0 in
-          let b = if List.length names > 1 then List.nth names 1 else a in
-          Error.failf ~component:a Error.Analysis
-            "Circular dependency with %s and/or %s." a b
-      | _ ->
-          let newly = List.map (fun ((c : Component.t), _) -> c.name) ready in
-          go
-            (List.rev_append newly placed_names)
-            (List.rev_append (List.map fst ready) placed)
-            blocked
+  let n = Array.length comb in
+  let index = Hashtbl.create (max 16 n) in
+  Array.iteri (fun i (c : Component.t) -> Hashtbl.replace index c.name i) comb;
+  (* Combinational-only dependency edges, by declaration index.  The
+     de-duplication mirrors [dependencies] but resolves names through one
+     shared table instead of a per-reference list scan (the former
+     list-based lookup went quadratic on generated 10k-component specs). *)
+  let deps_of i =
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun name ->
+        if Hashtbl.mem seen name then None
+        else begin
+          Hashtbl.add seen name ();
+          Hashtbl.find_opt index name
+        end)
+      (List.concat_map Expr.names (Component.combinational_inputs comb.(i)))
   in
-  go [] [] deps
+  let dependents = Array.make (max 1 n) [] in
+  let indegree = Array.make (max 1 n) 0 in
+  for i = 0 to n - 1 do
+    List.iter
+      (fun d ->
+        dependents.(d) <- i :: dependents.(d);
+        indegree.(i) <- indegree.(i) + 1)
+      (deps_of i)
+  done;
+  (* Kahn's algorithm in rounds: each round places every ready component in
+     declaration order, so the result is deterministic and close to the
+     source (identical to the original list-partition formulation, minus
+     its quadratic rescans). *)
+  let round = ref [] in
+  for i = n - 1 downto 0 do
+    if indegree.(i) = 0 then round := i :: !round
+  done;
+  let placed = ref [] in
+  let nplaced = ref 0 in
+  while !round <> [] do
+    let next = ref [] in
+    List.iter
+      (fun i ->
+        placed := comb.(i) :: !placed;
+        incr nplaced;
+        List.iter
+          (fun j ->
+            indegree.(j) <- indegree.(j) - 1;
+            if indegree.(j) = 0 then next := j :: !next)
+          dependents.(i))
+      !round;
+    round := List.sort compare !next
+  done;
+  if !nplaced < n then begin
+    (* Every remaining component is on or behind a cycle; report the first
+       two (in declaration order) for a diagnostic in the paper's style. *)
+    let blocked = ref [] in
+    for i = n - 1 downto 0 do
+      if indegree.(i) > 0 then blocked := comb.(i).Component.name :: !blocked
+    done;
+    let names = !blocked in
+    let a = List.nth names 0 in
+    let b = if List.length names > 1 then List.nth names 1 else a in
+    Error.failf ~component:a Error.Analysis
+      "Circular dependency with %s and/or %s." a b
+  end;
+  List.rev !placed

@@ -7,20 +7,24 @@ let lookup env name =
 
 let cap w = max 1 (min Bits.word_bits w)
 
-let atom_width env atom =
+(* The width rules are written against an abstract [look]up so the public
+   assoc-list [env] API and the fixpoint's internal hash table share one
+   implementation (the assoc-list lookup inside the fixpoint was quadratic
+   on generated 10k-component specs). *)
+let atom_width_with look atom =
   match Expr.atom_width atom with
   | Some w -> max w 0
   | None -> (
       match atom with
-      | Expr.Ref { name; _ } -> lookup env name
+      | Expr.Ref { name; _ } -> look name
       | Expr.Const { number; _ } -> Bits.width_needed (Number.value number)
       | Expr.Bitstring _ -> assert false)
 
-let expr_width env atoms =
-  cap (List.fold_left (fun acc atom -> acc + atom_width env atom) 0 atoms)
+let expr_width_with look atoms =
+  cap (List.fold_left (fun acc atom -> acc + atom_width_with look atom) 0 atoms)
 
-let alu_width env ({ fn; left; right } : Component.alu) =
-  let l = expr_width env left and r = expr_width env right in
+let alu_width_with look ({ fn; left; right } : Component.alu) =
+  let l = expr_width_with look left and r = expr_width_with look right in
   match Expr.const_value fn with
   | None ->
       (* A runtime-selected function can be NOT (mask - left), which fills
@@ -40,39 +44,59 @@ let alu_width env ({ fn; left; right } : Component.alu) =
       | Component.Fn_or | Component.Fn_xor -> max l r
       | Component.Fn_eq | Component.Fn_lt -> 1)
 
-let component_width env (c : Component.t) =
+let component_width_with look (c : Component.t) =
   match c.kind with
-  | Component.Alu alu -> alu_width env alu
+  | Component.Alu alu -> alu_width_with look alu
   | Component.Selector { cases; _ } ->
-      Array.fold_left (fun acc case -> max acc (expr_width env case)) 1 cases
+      Array.fold_left (fun acc case -> max acc (expr_width_with look case)) 1 cases
   | Component.Memory { data; init; op; _ } ->
       (* A memory that can perform input latches values of any width. *)
       let input_possible =
         match Expr.const_value op with
         | Some v -> v land 3 = 2
-        | None -> expr_width env op >= 2
+        | None -> expr_width_with look op >= 2
       in
       if input_possible then Bits.word_bits
       else
-      let from_init =
-        match init with
-        | None -> 1
-        | Some values ->
-            Array.fold_left (fun acc v -> max acc (Bits.width_needed (abs v))) 1 values
-      in
-      max (expr_width env data) from_init
+        let from_init =
+          match init with
+          | None -> 1
+          | Some values ->
+              Array.fold_left
+                (fun acc v -> max acc (Bits.width_needed (abs v)))
+                1 values
+        in
+        max (expr_width_with look data) from_init
+
+let expr_width env atoms = expr_width_with (lookup env) atoms
+
+let component_width env c = component_width_with (lookup env) c
 
 let infer (spec : Spec.t) =
   let components = spec.components in
-  let step env =
-    List.map (fun (c : Component.t) -> (c.name, component_width env c)) components
-  in
+  let table = Hashtbl.create (max 16 (List.length components)) in
   (* Start from the narrowest estimate and widen until stable; widths are
-     monotone in the environment and bounded by the word size, so at most
-     [word_bits * n] steps are needed (we allow a few more for safety). *)
-  let initial = List.map (fun (c : Component.t) -> (c.name, 1)) components in
-  let rec go env fuel =
-    let env' = step env in
-    if env' = env || fuel = 0 then env' else go env' (fuel - 1)
+     monotone in the environment and bounded by the word size, so the
+     fixpoint is reached after at most [word_bits * n] in-place sweeps (in
+     practice: the longest reference chain). *)
+  List.iter (fun (c : Component.t) -> Hashtbl.replace table c.name 1) components;
+  let look name =
+    match Hashtbl.find_opt table name with
+    | Some w -> w
+    | None -> Bits.word_bits
   in
-  go initial (Bits.word_bits * List.length components + 8)
+  let fuel = ref ((Bits.word_bits * List.length components) + 8) in
+  let changed = ref true in
+  while !changed && !fuel > 0 do
+    changed := false;
+    decr fuel;
+    List.iter
+      (fun (c : Component.t) ->
+        let w = component_width_with look c in
+        if w <> look c.name then begin
+          Hashtbl.replace table c.name w;
+          changed := true
+        end)
+      components
+  done;
+  List.map (fun (c : Component.t) -> (c.name, look c.name)) components

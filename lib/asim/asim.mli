@@ -27,6 +27,7 @@ module Compile = Asim_compile.Compile
 module Flat = Asim_flat.Flat
 module Jit = Asim_jit.Jit
 module Tiered = Asim_tiered.Tiered
+module Par = Asim_par.Par
 module Prof = Asim_prof.Prof
 
 module Specs : module type of Specs
@@ -38,17 +39,22 @@ module Specs : module type of Specs
     Dynlink-JIT over the codegen backend ({!Jit} — needs an OCaml toolchain
     on PATH); [TieredEngine] starts on the flat kernel and hot-swaps to the
     native engine at a cycle boundary once a background compile finishes
-    ({!Tiered} — degrades to flat-only without a toolchain). *)
+    ({!Tiered} — degrades to flat-only without a toolchain);
+    [Partitioned] is the flat kernel partitioned across domains and run
+    bulk-synchronously ({!Par} — domain count from [?domains], then
+    [ASIM_PAR_DOMAINS], then the core count). *)
 type engine =
   | Interpreter
   | Compiled
   | FlatKernel
   | Native
   | TieredEngine
+  | Partitioned
 
 val engine_of_string : string -> engine option
 (** ["interp"]/["asim"], ["compiled"]/["asim2"], ["flat"],
-    ["native"]/["jit"] and ["tiered"] (case-insensitive). *)
+    ["native"]/["jit"], ["tiered"] and ["par"]/["bsp"]
+    (case-insensitive). *)
 
 val engine_to_string : engine -> string
 
@@ -64,15 +70,19 @@ val machine :
   ?schedule:Flat.schedule ->
   ?tracer:Asim_obs.Tracer.t ->
   ?prof:Prof.t ->
+  ?domains:int ->
+  ?par_costs:(string * float) list ->
   Analysis.t ->
   Machine.t
 (** Instantiate a runnable machine.  Defaults: [Compiled] engine, paper
     optimizations on, {!Machine.default_config}.  [optimize] applies to the
-    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only.
-    [prof] attaches an {!Prof} profile to any engine except [Native]
-    (whose generated plugin carries no counters — requesting it raises
-    {!Error.Error}); a profiled [TieredEngine] run is pinned to the
-    instrumented flat kernel. *)
+    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only;
+    [domains] and [par_costs] (a measured per-component cost model for the
+    partitioner) to [Partitioned] only.  [prof] attaches an {!Prof} profile
+    to any engine except [Native] (whose generated plugin carries no
+    counters) and [Partitioned] (whose counters would race across domains)
+    — requesting either raises {!Error.Error}; a profiled [TieredEngine]
+    run is pinned to the instrumented flat kernel. *)
 
 val run_string :
   ?config:Machine.config -> ?engine:engine -> ?cycles:int -> string -> Machine.t

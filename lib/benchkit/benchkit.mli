@@ -32,6 +32,9 @@ type engine_run = {
   compiler : string option;
       (** the toolchain that produced the engine's code — the probed
           compiler and its version for ["native"], [None] otherwise *)
+  domains : int option;
+      (** domain count for the ["par"] row (its default — ASIM_PAR_DOMAINS,
+          else the core count), [None] for single-domain engines *)
 }
 
 type profiling = {
@@ -72,13 +75,56 @@ type workload = {
           zero-allocation witness *)
 }
 
-type t = { cycles : int; reps : int; workloads : workload list }
+(** One row of the partitioned engine's scaling curve. *)
+type par_run = {
+  pr_domains : int;
+  pr_build_s : float;
+  pr_wall_s : float;
+  pr_ns_per_cycle : float;
+  pr_ngroups : int;  (** barriers per cycle under this partitioning *)
+  pr_cut : int;  (** cross-partition combinational edges *)
+  pr_speedup_vs_par1 : float;
+  pr_scaling_valid : bool;
+      (** false when the host has fewer cores than this row has domains —
+          the timing then measures the OS time-slicing domains, not the
+          algorithm, and must not be read as a speedup *)
+}
 
-val run : ?cycles:int -> ?reps:int -> ?check_cycles:int -> unit -> t
+(** The partitioned engine's figure: flat baseline plus par at 1/2/4/8
+    domains over a generated 10k-component spec, with the par@1-vs-flat
+    overhead ablation (recorded even when unfavourable), the
+    [codegen.flat.compile] span for the spec, and a short flat-vs-par@4
+    lockstep check as the correctness witness. *)
+type par_scaling = {
+  ps_workload : string;
+  ps_components : int;
+  ps_cycles : int;
+  ps_cores_online : int;  (** [Domain.recommended_domain_count ()] *)
+  ps_compile_span_ms : float;
+      (** duration of the flat compiler's [codegen.flat.compile] span on
+          this spec *)
+  ps_flat_wall_s : float;
+  ps_par1_overhead_vs_flat : float;  (** par@1 wall / flat wall *)
+  ps_lockstep : bool;
+  ps_runs : par_run list;
+}
+
+type t = {
+  cycles : int;
+  reps : int;
+  cores_online : int;
+  workloads : workload list;
+  par_scaling : par_scaling list;
+}
+
+val run :
+  ?cycles:int -> ?reps:int -> ?check_cycles:int -> ?par_cycles:int -> unit -> t
 (** Run the harness.  [cycles] is the per-run budget (default: the sieve's
     5545 — both workloads park in halt spins, so any budget is safe);
     [reps] timed repetitions per engine, best kept (default 3);
-    [check_cycles] the differential-oracle budget (default 300). *)
+    [check_cycles] the differential-oracle budget (default 300);
+    [par_cycles] the budget for the 10k-component par-scaling workloads
+    (default 200 — each cycle there is ~250x a sieve cycle). *)
 
 val ratio : workload -> string -> string -> float option
 (** [ratio w a b] is [wall(a) /. wall(b)] — how many times faster engine
@@ -100,7 +146,8 @@ val tiered_vs_best : workload -> float option
     with 0.95 the accepted floor. *)
 
 val agree : t -> bool
-(** All workloads passed the differential check. *)
+(** All workloads passed the differential check and every par-scaling
+    workload stayed in lockstep with flat. *)
 
 val table : t -> string
 (** Human-readable report, one block per workload. *)

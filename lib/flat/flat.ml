@@ -281,14 +281,40 @@ type program = {
   p_dep_len : int array;  (** by producer slot *)
 }
 
-let compile ?peephole (analysis : Asim_analysis.Analysis.t) =
+let compile ?peephole ?(tracer = Asim_obs.Tracer.null) ?slots ?comb_order
+    (analysis : Asim_analysis.Analysis.t) =
   let spec = analysis.Asim_analysis.Analysis.spec in
   let components = spec.Spec.components in
   let ncomp = List.length components in
-  let ids = Hashtbl.create (max 16 ncomp) in
-  List.iteri (fun i (c : Component.t) -> Hashtbl.replace ids c.name i) components;
-  let names = Array.of_list (List.map (fun (c : Component.t) -> c.name) components) in
-  let order = analysis.Asim_analysis.Analysis.order in
+  Asim_obs.Tracer.span tracer
+    ~args:[ ("components", string_of_int ncomp) ]
+    "codegen.flat.compile"
+  @@ fun () ->
+  (* [slots] overrides the name → state-slot assignment (default:
+     declaration order) and [comb_order] the combinational evaluation order
+     (default: the analysis's topological order).  The partitioned engine
+     uses both to lay each partition's slots and code out contiguously; a
+     custom order must still be a valid dependency order, and a custom slot
+     table must be a bijection onto [0 .. ncomp-1]. *)
+  let ids =
+    match slots with
+    | Some ids -> ids
+    | None ->
+        let ids = Hashtbl.create (max 16 ncomp) in
+        List.iteri
+          (fun i (c : Component.t) -> Hashtbl.replace ids c.name i)
+          components;
+        ids
+  in
+  let names = Array.make (max 1 ncomp) "" in
+  List.iter
+    (fun (c : Component.t) -> names.(component_id ids c.name) <- c.name)
+    components;
+  let order =
+    match comb_order with
+    | Some order -> order
+    | None -> analysis.Asim_analysis.Analysis.order
+  in
   let ncomb = List.length order in
   let comb_entry = Array.make ncomb 0 in
   let comb_id = Array.make ncomb 0 in
@@ -372,6 +398,64 @@ let compile ?peephole (analysis : Asim_analysis.Analysis.t) =
 let program_size ?peephole analysis =
   Array.length (compile ?peephole analysis).p_code
 
+(* --- the evaluator ------------------------------------------------------ *)
+
+(* The kernel: all-int state threaded through tail calls, no allocation.
+   Shared by the flat machine below and by every domain of the partitioned
+   engine ([Asim_par]), each over its own [vals] array. *)
+let make_exec (p : program) ~(vals : int array) ~(cycle : int ref) =
+  let code = p.p_code and names = p.p_names in
+  let rec exec pc acc tmp tmp2 =
+    match Array.unsafe_get code pc with
+    | 0 (* ret *) -> acc
+    | 1 (* const *) -> exec (pc + 2) (Array.unsafe_get code (pc + 1)) tmp tmp2
+    | 2 (* term *) ->
+        let src = Array.unsafe_get code (pc + 1) in
+        let m = Array.unsafe_get code (pc + 2) in
+        exec (pc + 3) (acc + (Array.unsafe_get vals src land m)) tmp tmp2
+    | 3 (* term lsl *) ->
+        let src = Array.unsafe_get code (pc + 1) in
+        let m = Array.unsafe_get code (pc + 2) in
+        let s = Array.unsafe_get code (pc + 3) in
+        exec (pc + 4) (acc + ((Array.unsafe_get vals src land m) lsl s)) tmp tmp2
+    | 4 (* term lsr *) ->
+        let src = Array.unsafe_get code (pc + 1) in
+        let m = Array.unsafe_get code (pc + 2) in
+        let s = Array.unsafe_get code (pc + 3) in
+        exec (pc + 4) (acc + ((Array.unsafe_get vals src land m) lsr s)) tmp tmp2
+    | 5 (* whole *) ->
+        exec (pc + 2)
+          (acc + Array.unsafe_get vals (Array.unsafe_get code (pc + 1)))
+          tmp tmp2
+    | 6 (* whole lsl *) ->
+        let src = Array.unsafe_get code (pc + 1) in
+        let s = Array.unsafe_get code (pc + 2) in
+        exec (pc + 3) (acc + (Array.unsafe_get vals src lsl s)) tmp tmp2
+    | 7 (* save *) -> exec (pc + 1) acc acc tmp2
+    | 8 (* save2 *) -> exec (pc + 1) acc tmp acc
+    | 9 (* not *) -> exec (pc + 1) (Bits.mask - acc) tmp tmp2
+    | 10 (* add *) -> exec (pc + 1) (tmp + acc) tmp tmp2
+    | 11 (* sub *) -> exec (pc + 1) (tmp - acc) tmp tmp2
+    | 12 (* shl *) -> exec (pc + 1) (Bits.shift_left_masked tmp acc) tmp tmp2
+    | 13 (* mul *) -> exec (pc + 1) (tmp * acc) tmp tmp2
+    | 14 (* and *) -> exec (pc + 1) (tmp land acc) tmp tmp2
+    | 15 (* or *) -> exec (pc + 1) (tmp + acc - (tmp land acc)) tmp tmp2
+    | 16 (* xor *) -> exec (pc + 1) (tmp + acc - (2 * (tmp land acc))) tmp tmp2
+    | 17 (* eq *) -> exec (pc + 1) (if tmp = acc then 1 else 0) tmp tmp2
+    | 18 (* lt *) -> exec (pc + 1) (if tmp < acc then 1 else 0) tmp tmp2
+    | 19 (* dyn *) ->
+        exec (pc + 1) (Component.apply_alu_code tmp2 ~left:tmp ~right:acc) tmp tmp2
+    | 20 (* sel *) ->
+        let n = Array.unsafe_get code (pc + 2) in
+        if acc < 0 || acc >= n then
+          Machine.selector_out_of_range
+            ~component:(Array.unsafe_get names (Array.unsafe_get code (pc + 1)))
+            ~cycle:!cycle ~index:acc ~cases:n
+        else exec (Array.unsafe_get code (pc + 3 + acc)) 0 tmp tmp2
+    | _ -> assert false
+  in
+  exec
+
 (* --- the machine -------------------------------------------------------- *)
 
 type state = { s_vals : int array; s_cells : int array }
@@ -385,7 +469,7 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
     T.span tracer
       ~args:[ ("schedule", schedule_to_string schedule) ]
       "codegen.flat.emit"
-      (fun () -> compile ?peephole analysis)
+      (fun () -> compile ?peephole ~tracer analysis)
   in
   let code = p.p_code in
   let names = p.p_names in
@@ -473,56 +557,7 @@ let create_full ?(config = Machine.default_config) ?(schedule = Activity)
       Bytes.set comb_fault i '\001'
   done;
   let evals = Array.make (max 1 ncomb) 0 in
-  (* The kernel: all-int state threaded through tail calls, no allocation. *)
-  let rec exec pc acc tmp tmp2 =
-    match Array.unsafe_get code pc with
-    | 0 (* ret *) -> acc
-    | 1 (* const *) -> exec (pc + 2) (Array.unsafe_get code (pc + 1)) tmp tmp2
-    | 2 (* term *) ->
-        let src = Array.unsafe_get code (pc + 1) in
-        let m = Array.unsafe_get code (pc + 2) in
-        exec (pc + 3) (acc + (Array.unsafe_get vals src land m)) tmp tmp2
-    | 3 (* term lsl *) ->
-        let src = Array.unsafe_get code (pc + 1) in
-        let m = Array.unsafe_get code (pc + 2) in
-        let s = Array.unsafe_get code (pc + 3) in
-        exec (pc + 4) (acc + ((Array.unsafe_get vals src land m) lsl s)) tmp tmp2
-    | 4 (* term lsr *) ->
-        let src = Array.unsafe_get code (pc + 1) in
-        let m = Array.unsafe_get code (pc + 2) in
-        let s = Array.unsafe_get code (pc + 3) in
-        exec (pc + 4) (acc + ((Array.unsafe_get vals src land m) lsr s)) tmp tmp2
-    | 5 (* whole *) ->
-        exec (pc + 2)
-          (acc + Array.unsafe_get vals (Array.unsafe_get code (pc + 1)))
-          tmp tmp2
-    | 6 (* whole lsl *) ->
-        let src = Array.unsafe_get code (pc + 1) in
-        let s = Array.unsafe_get code (pc + 2) in
-        exec (pc + 3) (acc + (Array.unsafe_get vals src lsl s)) tmp tmp2
-    | 7 (* save *) -> exec (pc + 1) acc acc tmp2
-    | 8 (* save2 *) -> exec (pc + 1) acc tmp acc
-    | 9 (* not *) -> exec (pc + 1) (Bits.mask - acc) tmp tmp2
-    | 10 (* add *) -> exec (pc + 1) (tmp + acc) tmp tmp2
-    | 11 (* sub *) -> exec (pc + 1) (tmp - acc) tmp tmp2
-    | 12 (* shl *) -> exec (pc + 1) (Bits.shift_left_masked tmp acc) tmp tmp2
-    | 13 (* mul *) -> exec (pc + 1) (tmp * acc) tmp tmp2
-    | 14 (* and *) -> exec (pc + 1) (tmp land acc) tmp tmp2
-    | 15 (* or *) -> exec (pc + 1) (tmp + acc - (tmp land acc)) tmp tmp2
-    | 16 (* xor *) -> exec (pc + 1) (tmp + acc - (2 * (tmp land acc))) tmp tmp2
-    | 17 (* eq *) -> exec (pc + 1) (if tmp = acc then 1 else 0) tmp tmp2
-    | 18 (* lt *) -> exec (pc + 1) (if tmp < acc then 1 else 0) tmp tmp2
-    | 19 (* dyn *) ->
-        exec (pc + 1) (Component.apply_alu_code tmp2 ~left:tmp ~right:acc) tmp tmp2
-    | 20 (* sel *) ->
-        let n = Array.unsafe_get code (pc + 2) in
-        if acc < 0 || acc >= n then
-          Machine.selector_out_of_range
-            ~component:(Array.unsafe_get names (Array.unsafe_get code (pc + 1)))
-            ~cycle:!cycle ~index:acc ~cases:n
-        else exec (Array.unsafe_get code (pc + 3 + acc)) 0 tmp tmp2
-    | _ -> assert false
-  in
+  let exec = make_exec p ~vals ~cycle in
   let activity = match schedule with Activity -> true | Full -> false in
   let comb_full () =
     for i = 0 to ncomb - 1 do

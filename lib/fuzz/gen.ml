@@ -149,6 +149,150 @@ let spec size st =
     components;
   }
 
+(* --- structured workloads ------------------------------------------------ *)
+
+(* The structured generators below scale the same width/range discipline as
+   the random generator (narrow fields, field-narrowed selects, constant
+   memory ops) up to 1k-100k components, arranged so the component graph has
+   a shape a partitioner can exploit.  Names are letters+digits only, as
+   [Spec.validate] requires. *)
+
+let struct_field st name =
+  let lo = upto st 4 in
+  let w = range st 1 4 in
+  Expr.ref_range name lo (lo + w - 1)
+
+(* Replica-crossing reads take the low bits: the values flowing through a
+   generated design are a few bits wide, so a random high-bit field of a
+   neighbouring replica is too often constant zero — a cross edge the
+   dependency graph sees but no observable ever feels, which would let the
+   planted ASIM_PAR_SKEW lost update slip past the oracle. *)
+let struct_low_field st name = Expr.ref_range name 0 (range st 1 4 - 1)
+
+let struct_const st = Expr.num_w (upto st 15) ~width:(range st 1 4)
+
+(* ALU functions that propagate every change of the right operand; a cross
+   value fed through [Fn_zero] or [Fn_left] would be another dead edge. *)
+let right_sensitive_fns = [| 4 (* add *); 5 (* sub *); 9 (* or *); 10 (* xor *) |]
+
+(* A combinational stage reading [prev] (its upstream neighbour, possibly a
+   memory) and optionally [cross] (a component in another replica, creating
+   deliberate cross-partition traffic).  Roughly one stage in ten is a
+   selector, keyed on two bits of [prev] with exactly four cases so the
+   select can never leave range. *)
+let struct_stage st ~prev ~cross name =
+  if range st 0 9 = 0 then
+    let select = [ Expr.ref_range prev 0 1 ] in
+    let case () =
+      match cross with
+      | Some c when Random.State.bool st ->
+          [ struct_low_field st c; struct_const st ]
+      | _ -> [ struct_field st prev; struct_const st ]
+    in
+    {
+      Component.name;
+      kind = Component.Selector { select; cases = Array.init 4 (fun _ -> case ()) };
+    }
+  else
+    let left = [ struct_field st prev; struct_const st ] in
+    let fn, right =
+      match cross with
+      | Some c ->
+          ( [ Expr.num right_sensitive_fns.(upto st 3) ],
+            [ struct_low_field st c ] )
+      | None -> ([ Expr.num (range st 0 13) ], [ struct_const st ])
+    in
+    { Component.name; kind = Component.Alu { fn; left; right } }
+
+(* One single-cell register: plain write (op 1 traces nothing), data fed by
+   a narrow field of [src]. *)
+let struct_reg st ~src name =
+  {
+    Component.name;
+    kind =
+      Component.Memory
+        {
+          addr = [ Expr.num 0 ];
+          data = [ struct_field st src; struct_const st ];
+          op = [ Expr.num 1 ];
+          cells = 1;
+          init = Some [| upto st 1000 |];
+        };
+  }
+
+(* Tracing a deterministic ~1% sample keeps engine-diffing through the trace
+   stream meaningful without drowning large runs in output. *)
+let struct_decls components =
+  List.mapi
+    (fun i (c : Component.t) -> { Spec.name = c.name; traced = i mod 97 = 0 })
+    components
+
+let pipeline ?(cycles = 200) ~cores ~depth ~seed () =
+  let cores = max 1 cores and depth = max 1 depth in
+  let st = Random.State.make [| 0x6e57; 0x91be; seed |] in
+  let stage_name r s = Printf.sprintf "g%ds%d" r s in
+  let reg_name r = Printf.sprintf "g%dm" r in
+  (* Core [r]: stages s0 .. s(depth-1) in a chain fed from the core's
+     register, each stage past the first also tapping the matching stage of
+     core [r-1] — so replicas are *not* independent and a partitioner must
+     either co-locate neighbouring cores or pay mailbox traffic.  The
+     register latches the last stage, closing the cycle through state. *)
+  let core r =
+    let stages =
+      List.init depth (fun s ->
+          let prev = if s = 0 then reg_name r else stage_name r (s - 1) in
+          let cross = if r > 0 && s > 0 then Some (stage_name (r - 1) s) else None in
+          struct_stage st ~prev ~cross (stage_name r s))
+    in
+    stages @ [ struct_reg st ~src:(stage_name r (depth - 1)) (reg_name r) ]
+  in
+  let components = List.concat (List.init cores core) in
+  {
+    Spec.comment =
+      Printf.sprintf "genspec pipeline cores=%d depth=%d seed=%d" cores depth seed;
+    cycles = Some cycles;
+    decls = struct_decls components;
+    components;
+  }
+
+let mesh ?(cycles = 200) ~width ~height ~seed () =
+  let w = max 1 width and h = max 1 height in
+  let st = Random.State.make [| 0x6e57; 0x3e54; seed |] in
+  let node_name x y = Printf.sprintf "n%dx%d" x y in
+  let reg_name y = Printf.sprintf "r%dm" y in
+  (* Row [y]: a west-to-east combinational chain seeded from the row's
+     register, every node also reading the *previous* row's register — all
+     inter-row traffic flows through state, so a row-aligned partitioning
+     has zero cross-partition combinational edges (the per-cycle-barrier
+     best case). *)
+  let row y =
+    let nodes =
+      List.init w (fun x ->
+          let prev = if x = 0 then reg_name y else node_name (x - 1) y in
+          let name = node_name x y in
+          let north = reg_name ((y + h - 1) mod h) in
+          let stage = struct_stage st ~prev ~cross:None name in
+          match stage.Component.kind with
+          | Component.Alu a ->
+              {
+                stage with
+                Component.kind =
+                  Component.Alu
+                    { a with Component.right = [ struct_low_field st north ] };
+              }
+          | _ -> stage)
+    in
+    nodes @ [ struct_reg st ~src:(node_name (w - 1) y) (reg_name y) ]
+  in
+  let components = List.concat (List.init h row) in
+  {
+    Spec.comment =
+      Printf.sprintf "genspec mesh width=%d height=%d seed=%d" w h seed;
+    cycles = Some cycles;
+    decls = struct_decls components;
+    components;
+  }
+
 let spec_at size ~seed ~index =
   (* Each index derives its own state, so replaying spec [index] never needs
      the indices before it. *)

@@ -37,6 +37,35 @@ val spec : size -> Random.State.t -> Asim_core.Spec.t
 (** Draw one spec.  Deterministic in the state; usable directly as a
     [QCheck.Gen.t]. *)
 
+(** {1 Structured workloads}
+
+    Deterministic generators of {e large} well-formed specs (1k-100k
+    components) with partitionable structure, behind [asim genspec] and the
+    partitioned engine's benchmarks.  They obey the same safety discipline
+    as the random generator (narrow fields, field-narrowed selects,
+    constant plain-write memory ops), so the specs are analyzable, run
+    without spurious range errors, and pretty-print/parse round-trip.
+    About one component in ten is a selector; a deterministic ~1% sample of
+    components is traced.  The spec's comment records kind, parameters and
+    seed. *)
+
+val pipeline :
+  ?cycles:int -> cores:int -> depth:int -> seed:int -> unit -> Asim_core.Spec.t
+(** [cores] replicated pipelines of [depth] combinational stages, each core
+    closed through a single-cell register.  Stage [s] of core [r] reads
+    stage [s-1] of its own core and (for [r > 0], [s > 0]) stage [s] of
+    core [r-1] — neighbouring replicas are coupled, so partitioners must
+    co-locate neighbours or pay cross-partition traffic.
+    [cores * (depth + 1)] components. *)
+
+val mesh :
+  ?cycles:int -> width:int -> height:int -> seed:int -> unit -> Asim_core.Spec.t
+(** A [width * height] grid: each row is a west-to-east combinational chain
+    seeded from a per-row register, and rows communicate only through the
+    previous row's register — a row-aligned partitioning has zero
+    cross-partition combinational edges.  [height * (width + 1)]
+    components. *)
+
 val spec_at : size -> seed:int -> index:int -> Asim_core.Spec.t
 (** The [index]-th spec of the campaign seeded with [seed]: each index gets
     its own derived generator state, so any single spec of a run can be

@@ -8,6 +8,7 @@ type engine =
   | Lowered
   | Flat
   | FlatFull
+  | Par
   | Native
   | Tiered
   | Buggy
@@ -15,7 +16,8 @@ type engine =
 (* [Tiered] sits after [Native] so a toolchain-equipped campaign's native
    observation has already populated the in-process plugin memo: the tiered
    machine then swaps at cycle 0 without spawning a compile domain. *)
-let all = [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull; Native; Tiered ]
+let all =
+  [ Interp; Compiled; Unoptimized; Lowered; Flat; FlatFull; Par; Native; Tiered ]
 
 (* [Native] shells out to the host toolchain; a campaign on a box without one
    should drop the engine (with a warning) rather than abort.  [Tiered] is
@@ -30,6 +32,7 @@ let engine_to_string = function
   | Lowered -> "lowered"
   | Flat -> "flat"
   | FlatFull -> "flat-full"
+  | Par -> "par"
   | Native -> "native"
   | Tiered -> "tiered"
   | Buggy -> "buggy"
@@ -42,6 +45,7 @@ let engine_of_string s =
   | "lowered" | "lower" | "ir" -> Some Lowered
   | "flat" -> Some Flat
   | "flat-full" | "flat_full" | "flatfull" -> Some FlatFull
+  | "par" | "bsp" | "partitioned" -> Some Par
   | "native" | "jit" -> Some Native
   | "tiered" | "tier" -> Some Tiered
   | "buggy" -> Some Buggy
@@ -66,6 +70,12 @@ let build engine ~config (analysis : Asim_analysis.Analysis.t) =
   | Lowered -> Loweval.create ~config analysis
   | Flat -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Activity analysis
   | FlatFull -> Asim_flat.Flat.create ~config ~schedule:Asim_flat.Flat.Full analysis
+  | Par ->
+      (* Domain count from ASIM_PAR_DOMAINS (else the core count) — the CI
+         smoke pins 4 so the BSP path is exercised even on small boxes, and
+         ASIM_PAR_SKEW=1 must make this engine diverge (a must-fail check,
+         like the tiered engine's swap skew). *)
+      Asim_par.Par.create ~config analysis
   | Native -> Asim_jit.Jit.create ~config analysis
   | Tiered ->
       (* The swap policy comes from ASIM_TIERED_SWAP_AT when set (how the

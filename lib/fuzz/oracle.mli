@@ -13,6 +13,11 @@ type engine =
   | Lowered  (** the codegen lowering executed directly ({!Loweval}) *)
   | Flat  (** the flat-kernel engine, activity scheduling on *)
   | FlatFull  (** the flat-kernel engine, full re-evaluation (ablation) *)
+  | Par
+      (** the partitioned engine ([Asim_par.Par]): the flat kernel split
+          across domains and run bulk-synchronously; domain count from
+          [ASIM_PAR_DOMAINS], and [ASIM_PAR_SKEW=1] plants a lost update
+          this oracle must catch *)
   | Native
       (** the native-compiled engine ([Asim_jit.Jit]): spec lowered to an
           OCaml module, compiled by the host toolchain and Dynlinked in *)
@@ -27,8 +32,9 @@ type engine =
           exercising the oracle and shrinker end to end *)
 
 val all : engine list
-(** The eight honest engines: [Interp] (the reference), [Compiled],
-    [Unoptimized], [Lowered], [Flat], [FlatFull], [Native], [Tiered]. *)
+(** The nine honest engines: [Interp] (the reference), [Compiled],
+    [Unoptimized], [Lowered], [Flat], [FlatFull], [Par], [Native],
+    [Tiered]. *)
 
 val available : engine -> bool
 (** Whether the engine can run here at all.  Only [Native] can be

@@ -1,0 +1,57 @@
+type t = {
+  n : int;
+  count : int Atomic.t;
+  sense : bool Atomic.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+}
+
+type handle = { b : t; mutable local : bool }
+
+let create n =
+  if n < 1 then invalid_arg "Barrier.create: need at least one party";
+  {
+    n;
+    count = Atomic.make 0;
+    sense = Atomic.make false;
+    lock = Mutex.create ();
+    cond = Condition.create ();
+  }
+
+let parties b = b.n
+
+let handle b = { b; local = true }
+
+(* Short enough that an oversubscribed box (fewer cores than parties)
+   degrades to the blocking path quickly instead of burning a scheduling
+   quantum spinning against a descheduled peer. *)
+let spin_limit = 2000
+
+let wait h =
+  let b = h.b in
+  let target = h.local in
+  h.local <- not target;
+  if b.n > 1 then
+    if Atomic.fetch_and_add b.count 1 = b.n - 1 then begin
+      (* Last arrival: reset the count *before* flipping the sense, so a
+         fast peer re-entering the next round finds it zeroed. *)
+      Atomic.set b.count 0;
+      Mutex.lock b.lock;
+      Atomic.set b.sense target;
+      Condition.broadcast b.cond;
+      Mutex.unlock b.lock
+    end
+    else begin
+      let spins = ref spin_limit in
+      while Atomic.get b.sense <> target && !spins > 0 do
+        decr spins;
+        Domain.cpu_relax ()
+      done;
+      if Atomic.get b.sense <> target then begin
+        Mutex.lock b.lock;
+        while Atomic.get b.sense <> target do
+          Condition.wait b.cond b.lock
+        done;
+        Mutex.unlock b.lock
+      end
+    end

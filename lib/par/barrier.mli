@@ -1,0 +1,35 @@
+(** Reusable sense-reversing barrier.
+
+    A classic two-phase barrier for a fixed party count: arrivals count up
+    on one atomic, the last arrival resets the count and flips the shared
+    {e sense}, and everyone else waits for the sense to match the value
+    their private handle expects — which inverts every round, so the same
+    barrier object is reused cycle after cycle with no reinitialization and
+    no allocation in {!wait}.
+
+    Waiters spin briefly with [Domain.cpu_relax] and then fall back to a
+    mutex/condition sleep, so the barrier is correct (if slow) even when the
+    machine has fewer cores than parties — including the one-core CI case.
+
+    Memory ordering: everything a party wrote before its {!wait} is visible
+    to every party after the same barrier round (the atomic
+    increment-then-sense-read chain gives the happens-before edge). *)
+
+type t
+
+type handle
+(** One party's view: carries the private expected sense.  Each party must
+    use its own handle, and every party must call {!wait} the same number
+    of times. *)
+
+val create : int -> t
+(** [create n] makes a barrier for [n] parties.  Raises [Invalid_argument]
+    for [n < 1]. *)
+
+val parties : t -> int
+
+val handle : t -> handle
+
+val wait : handle -> unit
+(** Block until all [n] parties have arrived.  With [n = 1] this returns
+    immediately. *)

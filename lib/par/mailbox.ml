@@ -1,0 +1,27 @@
+type t = { values : int array }
+
+let create n = { values = Array.make (max 1 n) 0 }
+
+let length t = Array.length t.values
+
+let post t ~src ~slots ~lo ~hi =
+  let values = t.values in
+  for k = lo to hi - 1 do
+    let s = Array.unsafe_get slots k in
+    Array.unsafe_set values s (Array.unsafe_get src s)
+  done
+
+let import t ~dst ~slots ~lo ~hi ~changed =
+  let values = t.values in
+  for k = lo to hi - 1 do
+    let s = Array.unsafe_get slots k in
+    let v = Array.unsafe_get values s in
+    if Array.unsafe_get dst s <> v then begin
+      Array.unsafe_set dst s v;
+      changed s
+    end
+  done
+
+let get t s = t.values.(s)
+
+let set t s v = t.values.(s) <- v

@@ -1,0 +1,42 @@
+(** Preallocated batched mailbox for cross-partition signal exchange.
+
+    One int per state slot, allocated once at machine construction.  A
+    producer partition {!post}s a batch of its slots after finishing a sync
+    group; consumer partitions {!import} the batch after the barrier,
+    copying each value into their private state and invoking [changed] only
+    for slots whose value actually differs — which is exactly the flat
+    engine's activity rule, so an unchanged cross-partition signal wakes
+    nobody on the far side.
+
+    Neither operation allocates.  Safety relies on the BSP discipline, not
+    on the mailbox itself: each slot has a single writer, and readers only
+    run after a barrier orders them behind the post. *)
+
+type t
+
+val create : int -> t
+(** [create nslots] — all values start 0, matching the engines' initial
+    component values. *)
+
+val length : t -> int
+
+val post : t -> src:int array -> slots:int array -> lo:int -> hi:int -> unit
+(** Copy [src.(s)] into the mailbox for each slot [s] in
+    [slots.(lo .. hi-1)]. *)
+
+val import :
+  t ->
+  dst:int array ->
+  slots:int array ->
+  lo:int ->
+  hi:int ->
+  changed:(int -> unit) ->
+  unit
+(** Copy mailbox values for [slots.(lo .. hi-1)] into [dst], calling
+    [changed s] for each slot whose [dst] value was actually updated. *)
+
+val get : t -> int -> int
+(** Read one mailbox value (tests). *)
+
+val set : t -> int -> int -> unit
+(** Write one mailbox value directly (tests). *)

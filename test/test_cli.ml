@@ -657,6 +657,59 @@ let test_tiered_no_toolchain () =
           Alcotest.(check (option string)) "stays on flat" (Some "flat")
             (stats_field stats "executing_engine")))
 
+(* --- the partitioned engine and its workload generator ---------------------- *)
+
+(* `asim genspec` is byte-deterministic for a fixed seed, reports its shape,
+   and its output runs under `-e par` in lockstep with the flat engine (the
+   CLI face of the library-level tests in test_par.ml). *)
+let test_genspec_deterministic () =
+  let gen () = run_cli "genspec -k pipeline --cores 6 --depth 4 --seed 9" in
+  let code_a, a = gen () in
+  let code_b, b = gen () in
+  Alcotest.(check int) "first exit" 0 code_a;
+  Alcotest.(check int) "second exit" 0 code_b;
+  Alcotest.(check string) "byte-identical regeneration" a b;
+  let _, other = run_cli "genspec -k pipeline --cores 6 --depth 4 --seed 10" in
+  Alcotest.(check bool) "seeds differ" true (a <> other);
+  let spec = Asim.Parser.parse_string a in
+  Alcotest.(check int) "cores*(depth+1) components" 30
+    (List.length spec.Asim.Spec.components)
+
+let test_genspec_runs_under_par () =
+  in_temp ".asim" (fun path ->
+      let code, text =
+        run_cli
+          (Printf.sprintf "genspec -k mesh --mesh-width 5 --mesh-height 4 -n 40 -o %s"
+             (Filename.quote path))
+      in
+      if code <> 0 then Alcotest.failf "genspec failed: %s" text;
+      Alcotest.(check bool) "reports the size" true (contains text "24 components");
+      let _, flat = run_cli (Printf.sprintf "run %s -e flat" (Filename.quote path)) in
+      let code, par =
+        run_cli (Printf.sprintf "run %s -e par --domains 3" (Filename.quote path))
+      in
+      Alcotest.(check int) "par exit" 0 code;
+      Alcotest.(check string) "par trace identical to flat" flat par)
+
+(* The measured-cost loop: `profile --json` output feeds back through
+   `run -e par --par-profile` and must not change observable behavior. *)
+let test_par_profile_roundtrip () =
+  with_spec counter (fun path ->
+      in_temp ".json" (fun prof ->
+          let code, text =
+            run_cli (Printf.sprintf "profile %s --json" (Filename.quote path))
+          in
+          if code <> 0 then Alcotest.failf "profile failed: %s" text;
+          write_file prof text;
+          let _, flat = run_cli (Printf.sprintf "run %s -e flat" (Filename.quote path)) in
+          let code, par =
+            run_cli
+              (Printf.sprintf "run %s -e par --par-profile %s" (Filename.quote path)
+                 (Filename.quote prof))
+          in
+          Alcotest.(check int) "par exit" 0 code;
+          Alcotest.(check string) "costed par trace identical to flat" flat par))
+
 let test_errors () =
   let code, _ = run_cli "run /nonexistent/file.asim" in
   Alcotest.(check bool) "missing file fails" true (code <> 0);
@@ -710,6 +763,11 @@ let () =
           Alcotest.test_case "tiered forced swap" `Quick test_tiered_forced_swap;
           Alcotest.test_case "tiered without a toolchain" `Quick
             test_tiered_no_toolchain;
+          Alcotest.test_case "genspec deterministic" `Quick test_genspec_deterministic;
+          Alcotest.test_case "genspec runs under par" `Quick
+            test_genspec_runs_under_par;
+          Alcotest.test_case "par profile round-trip" `Quick
+            test_par_profile_roundtrip;
           Alcotest.test_case "errors" `Quick test_errors;
         ] );
     ]
