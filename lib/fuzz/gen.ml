@@ -274,11 +274,20 @@ let mesh ?(cycles = 200) ~width ~height ~seed () =
           let stage = struct_stage st ~prev ~cross:None name in
           match stage.Component.kind with
           | Component.Alu a ->
+              (* Grafting the north field onto the right operand only makes
+                 the inter-row edge live if [fn] propagates right-operand
+                 changes — redraw it like the pipeline generator's cross
+                 path does. *)
               {
                 stage with
                 Component.kind =
                   Component.Alu
-                    { a with Component.right = [ struct_low_field st north ] };
+                    {
+                      a with
+                      Component.fn =
+                        [ Expr.num right_sensitive_fns.(upto st 3) ];
+                      right = [ struct_low_field st north ];
+                    };
               }
           | _ -> stage)
     in

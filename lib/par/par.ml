@@ -44,8 +44,14 @@ module Pool = struct
   let spawned = ref 0
   let spin_limit = 200
 
-  let worker idx () =
-    let seen = ref 0 in
+  (* [seen0] is the generation already published when the worker was spawned
+     (read under [job_lock], before the spawning dispatch increments [gen]):
+     a fresh worker must park until the generation it was spawned into
+     appears, not chase generations that completed before it existed —
+     starting from 0 would make a late-grown pool run a spurious wave
+     against whatever [current] happens to hold. *)
+  let worker idx seen0 () =
+    let seen = ref seen0 in
     while true do
       let spins = ref spin_limit in
       while Atomic.get gen = !seen && !spins > 0 do
@@ -81,7 +87,7 @@ module Pool = struct
       ~finally:(fun () -> Mutex.unlock job_lock)
       (fun () ->
         while !spawned < Array.length fs - 1 do
-          ignore (Domain.spawn (worker !spawned));
+          ignore (Domain.spawn (worker !spawned (Atomic.get gen)));
           incr spawned
         done;
         current := fs;
@@ -156,9 +162,11 @@ let static_costs (analysis : Analysis.t) =
       float_of_int (max 1 (stop - p.Flat.p_comb_entry.(i))))
 
 let costs_by_pos ?costs (analysis : Analysis.t) (order : Component.t array) =
-  let static = static_costs analysis in
+  (* The static fallback costs a throwaway [Flat.compile]; force it only if
+     some component is actually missing from the measured model. *)
+  let static = lazy (static_costs analysis) in
   match costs with
-  | None -> static
+  | None -> Lazy.force static
   | Some model ->
       let table = Hashtbl.create (max 16 (List.length model)) in
       List.iter
@@ -168,7 +176,7 @@ let costs_by_pos ?costs (analysis : Analysis.t) (order : Component.t array) =
         (fun o (c : Component.t) ->
           match Hashtbl.find_opt table c.name with
           | Some c -> c
-          | None -> static.(o))
+          | None -> (Lazy.force static).(o))
         order
 
 (* Greedy seed: walk components in *declaration* order (the natural module
