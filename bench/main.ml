@@ -456,6 +456,7 @@ let figure_batch ?serve () =
                inputs = [];
                want = [ Asim_batch.Proto.Outputs ];
                timeout_s = None;
+               opt = None;
              }))
   in
   let run_at ?tracer domains =

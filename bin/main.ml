@@ -66,6 +66,40 @@ let engine_arg_with default =
 
 let engine_arg = engine_arg_with Asim.Compiled
 
+let opt_level_conv =
+  Arg.conv
+    ( (fun s ->
+        match Asim.Opt.level_of_string s with
+        | Some l -> Ok l
+        | None -> Error (`Msg ("unknown opt level " ^ s ^ " (expected 0, 1 or 2)"))),
+      fun ppf l -> Format.pp_print_string ppf (Asim.Opt.level_to_string l) )
+
+let opt_arg =
+  Arg.(
+    value
+    & opt (some opt_level_conv) None
+    & info [ "O"; "opt-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Middle-end optimization level for the shared codegen IR \
+           (docs/optimizer.md): $(b,0) disables it, $(b,1) runs constant \
+           propagation, atom fusion and width narrowing, $(b,2) adds \
+           common-subexpression elimination, dead-component elimination and \
+           cost-driven scheduling.  Defaults to $(b,ASIM_OPT) when set, \
+           else 2.  Every engine consumes the optimized spec; observables \
+           (traces, I/O, memory images, statistics, faults, errors) are \
+           preserved at every level.")
+
+(* The env default is resolved per command so junk in ASIM_OPT only fails
+   commands that consult it. *)
+let resolve_opt = function
+  | Some l -> l
+  | None -> (
+      match Asim.Opt.env_level () with
+      | l -> l
+      | exception Asim.Error.Error e ->
+          prerr_endline ("asim: " ^ Asim.Error.to_string e);
+          exit 2)
+
 let trace_out_arg =
   Arg.(
     value
@@ -204,7 +238,7 @@ let par_costs_of_file path =
 
 let run_cmd =
   let run path engine cycles stats quiet vcd faults interactive trace_out stats_json
-      profile domains par_profile =
+      profile domains par_profile opt =
     let tracer = tracer_for trace_out in
     (* Stage timings come from {!Asim_obs.Clock} so --stats-json is
        deterministic under a mock clock; the same boundaries become
@@ -227,6 +261,16 @@ let run_cmd =
       timed "pipeline.analyze" (fun () -> Asim.Analysis.analyze spec)
     in
     print_warnings analysis;
+    (* One middle-end run covers every engine below, including the tiered
+       engine's direct [create_status] path; fault targets stay live. *)
+    let level = resolve_opt opt in
+    let analysis, optimize_s =
+      match level with
+      | Asim.Opt.O0 -> (analysis, 0.0)
+      | _ ->
+          timed "pipeline.optimize" (fun () ->
+              Asim.Opt.run ~level ~keep:(Asim.Fault.targets faults) analysis)
+    in
     let trace = if quiet then Asim.Trace.null_sink else Asim.Trace.channel_sink stdout in
     let config = { Asim.Machine.default_config with trace; faults } in
     let prof = if profile then Some (Asim.Prof.create analysis) else None in
@@ -336,6 +380,7 @@ let run_cmd =
                   [
                     ("parse_s", Float parse_s);
                     ("analyze_s", Float analyze_s);
+                    ("optimize_s", Float optimize_s);
                     ("build_s", Float build_s);
                     ("run_s", Float run_s);
                   ] );
@@ -446,7 +491,7 @@ let run_cmd =
     Term.(
       const run $ file_arg $ engine_arg $ cycles_arg $ stats_arg $ quiet_arg $ vcd_arg
       $ faults_arg $ interactive_arg $ trace_out_arg $ stats_json_arg $ profile_arg
-      $ domains_arg $ par_profile_arg)
+      $ domains_arg $ par_profile_arg $ opt_arg)
 
 (* --- codegen --------------------------------------------------------------- *)
 
@@ -915,7 +960,8 @@ let wavediff_cmd =
 
 let fuzz_cmd =
   let run seed count start max_comb max_mem cycles wide engines artifacts
-      time_budget inject_bug print_specs no_shrink quiet fuzz_jobs trace_out =
+      time_budget inject_bug print_specs no_shrink quiet fuzz_jobs trace_out opt =
+    let opt = resolve_opt opt in
     let size = { Asim_fuzz.Gen.max_comb; max_mem; cycles; wide } in
     let engines = if inject_bug then engines @ [ Asim_fuzz.Oracle.Buggy ] else engines in
     (match engines with
@@ -930,9 +976,9 @@ let fuzz_cmd =
     let log = if quiet then fun _ -> () else print_endline in
     let tracer = tracer_for trace_out in
     let outcome =
-      Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~tracer ~engines
-        ~start ~shrink:(not no_shrink) ~on_spec ~log ~jobs:fuzz_jobs ~seed ~count
-        ~size ()
+      Asim_fuzz.Runner.run ?artifacts_dir:artifacts ?time_budget ~tracer ~opt
+        ~engines ~start ~shrink:(not no_shrink) ~on_spec ~log ~jobs:fuzz_jobs
+        ~seed ~count ~size ()
     in
     write_trace trace_out tracer;
     List.iter
@@ -1060,7 +1106,7 @@ let fuzz_cmd =
       const run $ seed_arg $ count_arg $ start_arg $ max_components_arg
       $ max_memories_arg $ fuzz_cycles_arg $ wide_arg $ engines_arg
       $ artifacts_arg $ time_budget_arg $ inject_bug_arg $ print_specs_arg
-      $ no_shrink_arg $ quiet_arg $ fuzz_jobs_arg $ trace_out_arg)
+      $ no_shrink_arg $ quiet_arg $ fuzz_jobs_arg $ trace_out_arg $ opt_arg)
 
 (* --- batch / serve ----------------------------------------------------------- *)
 
@@ -1082,12 +1128,12 @@ let no_metrics_arg =
     & info [ "no-metrics" ] ~doc:"Suppress the end-of-run metrics summary on stderr.")
 
 let batch_cmd =
-  let run manifest jobs cache_capacity output no_metrics trace_out profile =
+  let run manifest jobs cache_capacity output no_metrics trace_out profile opt =
     let tracer = tracer_for trace_out in
     let t =
       Asim_batch.Runner.create ~cache_capacity ~tracer
         ~force_want:(if profile then [ Asim_batch.Proto.Profile ] else [])
-        ()
+        ~opt:(resolve_opt opt) ()
     in
     let t0 = Obs_clock.now () in
     let ic =
@@ -1143,12 +1189,12 @@ let batch_cmd =
           shared compiled-spec cache; emit one result line per job, in job order.")
     Term.(
       const run $ manifest_arg $ jobs_arg $ cache_capacity_arg $ output_arg
-      $ no_metrics_arg $ trace_out_arg $ profile_arg)
+      $ no_metrics_arg $ trace_out_arg $ profile_arg $ opt_arg)
 
 let serve_cmd =
   let run jobs cache_capacity socket tcp host port_file no_metrics metrics_file
       metrics_interval queue_depth max_in_flight max_line_bytes store_capacity
-      timeout_s trace_out log_json =
+      timeout_s trace_out log_json opt =
     let tracer = tracer_for trace_out in
     let config =
       {
@@ -1159,6 +1205,7 @@ let serve_cmd =
         max_line_bytes;
         store_capacity;
         default_timeout_s = timeout_s;
+        opt = resolve_opt opt;
         tracer;
       }
     in
@@ -1310,7 +1357,7 @@ let serve_cmd =
       const run $ jobs_arg $ cache_capacity_arg $ socket_arg $ tcp_arg $ host_arg
       $ port_file_arg $ no_metrics_arg $ metrics_file_arg $ metrics_interval_arg
       $ queue_depth_arg $ max_in_flight_arg $ max_line_bytes_arg
-      $ store_capacity_arg $ timeout_arg $ trace_out_arg $ log_json_arg)
+      $ store_capacity_arg $ timeout_arg $ trace_out_arg $ log_json_arg $ opt_arg)
 
 let loadgen_cmd =
   let run host port connections jobs_per_connection example spec_file cycles

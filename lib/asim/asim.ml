@@ -25,6 +25,7 @@ module Jit = Asim_jit.Jit
 module Tiered = Asim_tiered.Tiered
 module Par = Asim_par.Par
 module Prof = Asim_prof.Prof
+module Opt = Asim_opt.Opt
 module Specs = Specs
 
 type engine =
@@ -57,8 +58,23 @@ let load_string source = Analysis.analyze (Parser.parse_string source)
 
 let load_file path = Analysis.analyze (Parser.parse_file path)
 
-let machine ?config ?(engine = Compiled) ?optimize ?schedule ?tracer ?prof
-    ?domains ?par_costs analysis =
+let machine ?config ?(engine = Compiled) ?optimize ?opt ?opt_costs ?schedule
+    ?tracer ?prof ?domains ?par_costs analysis =
+  (* The middle-end runs once, up front, on the analyzed spec — every engine
+     below consumes the rewritten analysis unchanged.  Fault targets are kept
+     verbatim (their widths can't be trusted and their values are observable
+     through the perturbation). *)
+  let analysis =
+    match opt with
+    | None | Some Asim_opt.Opt.O0 -> analysis
+    | Some level ->
+        let keep =
+          match config with
+          | Some { Machine.faults; _ } -> Fault.targets faults
+          | None -> []
+        in
+        Opt.run ~level ~keep ?costs:opt_costs analysis
+  in
   match engine with
   | Interpreter -> Interp.create ?config ?prof analysis
   | Compiled -> Compile.create ?config ?optimize ?prof analysis

@@ -29,6 +29,7 @@ module Jit = Asim_jit.Jit
 module Tiered = Asim_tiered.Tiered
 module Par = Asim_par.Par
 module Prof = Asim_prof.Prof
+module Opt = Asim_opt.Opt
 
 module Specs : module type of Specs
 (** Embedded example specifications. *)
@@ -67,6 +68,8 @@ val machine :
   ?config:Machine.config ->
   ?engine:engine ->
   ?optimize:bool ->
+  ?opt:Opt.level ->
+  ?opt_costs:(string * float) list ->
   ?schedule:Flat.schedule ->
   ?tracer:Asim_obs.Tracer.t ->
   ?prof:Prof.t ->
@@ -75,8 +78,13 @@ val machine :
   Analysis.t ->
   Machine.t
 (** Instantiate a runnable machine.  Defaults: [Compiled] engine, paper
-    optimizations on, {!Machine.default_config}.  [optimize] applies to the
-    [Compiled] engine only; [schedule] and [tracer] to [FlatKernel] only;
+    optimizations on, {!Machine.default_config}.  [opt] runs the {!Opt}
+    middle-end over the analysis before the engine is built (default: no
+    middle-end, i.e. [O0]) — every engine consumes the rewritten spec;
+    fault-plan targets from [config] are kept verbatim.  [opt_costs] feeds
+    the scheduler's cost model.  [optimize] applies to the [Compiled]
+    engine's own §4.4 closure optimizations only (the deprecated
+    [?peephole]-era knob); [schedule] and [tracer] to [FlatKernel] only;
     [domains] and [par_costs] (a measured per-component cost model for the
     partitioner) to [Partitioned] only.  [prof] attaches an {!Prof} profile
     to any engine except [Native] (whose generated plugin carries no

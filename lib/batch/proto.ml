@@ -19,6 +19,8 @@ type job = {
   source : source;
   engine : Asim.engine;
   optimize : bool;
+  opt : Asim.Opt.level option;
+      (* middle-end level for this job; [None] defers to the session default *)
   cycles : int option;
   inputs : int list;
   want : want list;
@@ -46,7 +48,7 @@ let want_to_string = function
 
 let known_fields =
   [ "id"; "trace_id"; "spec_file"; "spec"; "example"; "spec_hash"; "engine"; "optimize";
-    "cycles"; "inputs"; "want"; "timeout_s" ]
+    "opt"; "cycles"; "inputs"; "want"; "timeout_s" ]
 
 let is_md5_hex s =
   String.length s = 32
@@ -115,6 +117,15 @@ let job_of_json json =
       in
       let* optimize = field_opt json "optimize" Json.to_bool ~expected:"a boolean" in
       let optimize = Option.value optimize ~default:true in
+      let* opt =
+        field_opt json "opt"
+          (fun v ->
+            match Json.to_int v with
+            | Some n -> Asim.Opt.level_of_string (string_of_int n)
+            | None ->
+                Option.bind (Json.to_string_opt v) Asim.Opt.level_of_string)
+          ~expected:"an opt level (0, 1 or 2)"
+      in
       let* cycles = field_opt json "cycles" Json.to_int ~expected:"an integer" in
       let* () =
         match cycles with
@@ -157,7 +168,7 @@ let job_of_json json =
         | Some s when s < 0.0 -> Error "field \"timeout_s\" must be non-negative"
         | _ -> Ok ()
       in
-      Ok { id; trace_id; source; engine; optimize; cycles; inputs; want; timeout_s }
+      Ok { id; trace_id; source; engine; optimize; opt; cycles; inputs; want; timeout_s }
   | _ -> Error "job must be a JSON object"
 
 let request_of_json json =
@@ -200,6 +211,9 @@ let job_to_json job =
     add "inputs" (Json.List (List.map (fun i -> Json.Int i) job.inputs));
   Option.iter (fun n -> add "cycles" (Json.Int n)) job.cycles;
   if not job.optimize then add "optimize" (Json.Bool false);
+  Option.iter
+    (fun l -> add "opt" (Json.String (Asim.Opt.level_to_string l)))
+    job.opt;
   add "engine" (Json.String (Asim.engine_to_string job.engine));
   (match job.source with
   | File p -> add "spec_file" (Json.String p)

@@ -40,6 +40,10 @@ type job = {
   source : source;
   engine : Asim.engine;  (** default [Compiled] *)
   optimize : bool;  (** default [true]; §4.4 optimizations *)
+  opt : Asim.Opt.level option;
+      (** the middle-end level for this job (field ["opt"], accepting 0/1/2
+          as number or string); [None] defers to the session default
+          ({!Runner.create}'s [?opt]) *)
   cycles : int option;  (** default: the spec's [= N] directive, else 0 *)
   inputs : int list;  (** feed served to input (op 2) memories *)
   want : want list;  (** default [[Outputs]] *)

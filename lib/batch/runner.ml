@@ -7,26 +7,33 @@ type t = {
   metrics : Metrics.t;
   tracer : Tracer.t;
   force_want : Proto.want list;
+  opt : Asim.Opt.level;
 }
 
 let create ?(cache_capacity = 64) ?metrics ?(tracer = Tracer.null)
-    ?(force_want = []) () =
+    ?(force_want = []) ?(opt = Asim.Opt.O2) () =
   {
     cache = Cache.create ~capacity:cache_capacity;
     metrics = (match metrics with Some m -> m | None -> Metrics.create ());
     tracer;
     force_want;
+    opt;
   }
 
 let metrics t = t.metrics
 let cache_stats t = Cache.stats t.cache
 
-let cache_key ~engine ~optimize spec =
+let cache_key ?(opt = Asim.Opt.O0) ?(keep_all = false) ~engine ~optimize spec =
   let canonical = Pretty.spec spec in
-  Printf.sprintf "%s:%s:%s"
+  (* The cached value is the post-middle-end analysis, so the key carries
+     the opt level and whether every component was pinned live (jobs that
+     want raw outputs must see real values for all of them). *)
+  Printf.sprintf "%s:%s:%s:O%s%s"
     (Digest.to_hex (Digest.string canonical))
     (Asim.engine_to_string engine)
     (if optimize then "opt" else "noopt")
+    (Asim.Opt.level_to_string opt)
+    (if keep_all then ":keepall" else "")
 
 let resolve_source = function
   | Proto.Inline s -> s
@@ -160,14 +167,38 @@ let run_job t (job : Proto.job) =
         Tracer.span tr ~args:job_attr "pipeline.parse" (fun () ->
             Asim_syntax.Parser.parse_string source)
       in
-      let key = cache_key ~engine:job.Proto.engine ~optimize:job.Proto.optimize spec in
+      let opt = Option.value job.Proto.opt ~default:t.opt in
+      (* Jobs that want raw final outputs observe every component, so DCE
+         (and the rest of the middle-end) must keep them all live. *)
+      let keep_all = wanted Proto.Outputs in
+      let key =
+        cache_key ~opt ~keep_all ~engine:job.Proto.engine
+          ~optimize:job.Proto.optimize spec
+      in
       let hit = ref true in
       let lookup_t0 = Clock.now () in
       let analysis =
         Cache.find_or_compute t.cache ~key (fun () ->
             hit := false;
-            Tracer.span tr ~args:job_attr "pipeline.analyze" (fun () ->
-                Asim_analysis.Analysis.analyze spec))
+            let analysis =
+              Tracer.span tr ~args:job_attr "pipeline.analyze" (fun () ->
+                  Asim_analysis.Analysis.analyze spec)
+            in
+            match opt with
+            | Asim.Opt.O0 -> analysis
+            | level ->
+                Tracer.span tr
+                  ~args:(("level", Asim.Opt.level_to_string level) :: job_attr)
+                  "pipeline.optimize"
+                  (fun () ->
+                    let keep =
+                      if keep_all then
+                        List.map
+                          (fun (c : Component.t) -> c.name)
+                          spec.Spec.components
+                      else []
+                    in
+                    Asim.Opt.run ~level ~keep analysis))
       in
       Tracer.span_at tr
         ~args:(("outcome", if !hit then "hit" else "miss") :: job_attr)

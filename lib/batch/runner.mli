@@ -11,6 +11,7 @@ val create :
   ?metrics:Metrics.t ->
   ?tracer:Asim_obs.Tracer.t ->
   ?force_want:Proto.want list ->
+  ?opt:Asim.Opt.level ->
   unit ->
   t
 (** [cache_capacity] defaults to 64 analyzed specs.  [metrics] lets several
@@ -21,7 +22,10 @@ val create :
     wait, worker execute, cache lookup, emit — and for each pipeline stage
     of every job (parse, analyze, build, simulate).  [force_want] is
     unioned into every job's [want] list (how [asim batch --profile]
-    profiles a whole manifest without editing it). *)
+    profiles a whole manifest without editing it).  [opt] (default [O2]) is
+    the session's middle-end level for jobs that don't name one in their
+    ["opt"] field; jobs wanting raw outputs pin every component live so the
+    middle-end cannot change what they observe. *)
 
 val metrics : t -> Metrics.t
 (** The session's metrics accumulator (the one passed to {!create}, or the
@@ -30,11 +34,16 @@ val metrics : t -> Metrics.t
 val cache_stats : t -> Cache.stats
 (** Live counters of this session's compiled-spec cache. *)
 
-val cache_key : engine:Asim.engine -> optimize:bool -> Asim_core.Spec.t -> string
+val cache_key :
+  ?opt:Asim.Opt.level -> ?keep_all:bool -> engine:Asim.engine ->
+  optimize:bool -> Asim_core.Spec.t -> string
 (** The cache key: an MD5 content hash of the spec's canonical
-    pretty-printed form, qualified by engine and optimization flag.
-    Canonicalizing first makes the key stable across formatting (any source
-    that parses to the same spec shares an entry). *)
+    pretty-printed form, qualified by engine, optimization flag, middle-end
+    level (default [O0]) and whether every component was pinned live
+    (default [false]).  Canonicalizing first makes the key stable across
+    formatting (any source that parses to the same spec shares an entry);
+    the cached value is the post-middle-end analysis, so the last two
+    qualifiers keep differently-optimized rewrites apart. *)
 
 val stats_to_json : Asim.Stats.t -> Json.t
 (** Machine statistics (cycles, per-memory access counters, total) as JSON

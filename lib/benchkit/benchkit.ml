@@ -55,12 +55,37 @@ type par_scaling = {
   ps_runs : par_run list;
 }
 
+type opt_step = {
+  os_label : string;
+  os_passes : string list;
+  os_flat_words : int;
+  os_delta_words : int;
+      (* words saved vs the previous step; <= 0 allowed and reported *)
+  os_flat_ns_per_cycle : float;
+}
+
+type opt_ablation = {
+  oa_workload : string;
+  oa_components : int;
+  oa_cycles : int;
+  oa_cores_online : int;
+  oa_dead_components : int;
+  oa_scheduled : bool;
+  oa_steps : opt_step list;  (* first step is the -O0 baseline *)
+  oa_flat_speedup_o2_vs_o0 : float;
+  oa_native_o0_ns : float option;  (* None without a toolchain *)
+  oa_native_o2_ns : float option;
+  oa_native_speedup_o2_vs_o0 : float option;
+  oa_lockstep : bool;  (* flat -O2 vs flat -O0 observables agree *)
+}
+
 type t = {
   cycles : int;
   reps : int;
   cores_online : int;
   workloads : workload list;
   par_scaling : par_scaling list;
+  opt_ablation : opt_ablation list;
 }
 
 let time f =
@@ -421,6 +446,136 @@ let bench_par_scaling ~reps ~name (spec : Asim.Spec.t) =
     ps_runs = runs;
   }
 
+(* The middle-end ablation: each pass added cumulatively on top of the
+   previous ones (the pipeline's own order), measured as flat program words
+   and flat ns/cycle per step, plus the native engine at the -O0/-O2
+   endpoints (each endpoint is a separate plugin compile — the optimizer
+   changes the generated source).  Deltas are reported signed: a pass that
+   buys nothing on a workload shows 0 (or a regression shows negative
+   savings) instead of being dropped.  A short flat -O2 vs -O0 lockstep
+   check over the live (non-DCE'd) components rides along as the
+   correctness witness. *)
+let cumulative_passes =
+  List.rev
+    (List.fold_left
+       (fun acc p ->
+         let prev = match acc with [] -> [] | ps :: _ -> ps in
+         (prev @ [ p ]) :: acc)
+       [] Asim.Opt.all_passes)
+
+let bench_opt_ablation ~reps ~jit_cache_dir ~name (spec : Asim.Spec.t) =
+  let cycles = Option.value spec.Asim.Spec.cycles ~default:200 in
+  let config = Asim.Machine.quiet_config in
+  let analysis = Asim.Analysis.analyze spec in
+  let flat_ns analysis =
+    let build () = Asim_flat.Flat.create ~config analysis in
+    let first = build () in
+    Asim.Machine.run first ~cycles:(min cycles 64);
+    let wall = ref infinity in
+    for _ = 1 to max 1 reps do
+      let m = build () in
+      let (), t = time (fun () -> Asim.Machine.run m ~cycles) in
+      wall := Float.min !wall t
+    done;
+    !wall /. float_of_int (max 1 cycles) *. 1e9
+  in
+  let o0_words = Asim_flat.Flat.program_size analysis in
+  let o0_ns = flat_ns analysis in
+  let steps, _ =
+    List.fold_left
+      (fun (acc, prev_words) passes ->
+        let r = Asim.Opt.run_result ~passes analysis in
+        let words = Asim_flat.Flat.program_size r.Asim.Opt.analysis in
+        let step =
+          {
+            os_label =
+              "+"
+              ^ Asim.Opt.pass_to_string (List.nth passes (List.length passes - 1));
+            os_passes = List.map Asim.Opt.pass_to_string passes;
+            os_flat_words = words;
+            os_delta_words = prev_words - words;
+            os_flat_ns_per_cycle = flat_ns r.Asim.Opt.analysis;
+          }
+        in
+        (step :: acc, words))
+      ( [
+          {
+            os_label = "O0";
+            os_passes = [];
+            os_flat_words = o0_words;
+            os_delta_words = 0;
+            os_flat_ns_per_cycle = o0_ns;
+          };
+        ],
+        o0_words )
+      cumulative_passes
+  in
+  let steps = List.rev steps in
+  let full = Asim.Opt.run_result ~level:Asim.Opt.O2 analysis in
+  let o2_ns =
+    match List.rev steps with last :: _ -> last.os_flat_ns_per_cycle | [] -> o0_ns
+  in
+  let native_ns analysis =
+    if not (Oracle.available Oracle.Native) then None
+    else begin
+      Asim_jit.Jit.clear_memory_cache ();
+      let build () =
+        Asim_jit.Jit.create ~config ~cache_dir:jit_cache_dir analysis
+      in
+      let first = build () in
+      Asim.Machine.run first ~cycles:(min cycles 64);
+      let wall = ref infinity in
+      for _ = 1 to max 1 reps do
+        let m = build () in
+        let (), t = time (fun () -> Asim.Machine.run m ~cycles) in
+        wall := Float.min !wall t
+      done;
+      Some (!wall /. float_of_int (max 1 cycles) *. 1e9)
+    end
+  in
+  let native_o0 = native_ns analysis in
+  let native_o2 = native_ns full.Asim.Opt.analysis in
+  let lockstep =
+    let masked = Hashtbl.create 16 in
+    List.iter (fun n -> Hashtbl.replace masked n ()) full.Asim.Opt.dead;
+    let check = min cycles 50 in
+    let m0 = Asim_flat.Flat.create ~config analysis in
+    let m2 = Asim_flat.Flat.create ~config full.Asim.Opt.analysis in
+    let names =
+      List.filter
+        (fun n -> not (Hashtbl.mem masked n))
+        (List.map (fun (c : Asim.Component.t) -> c.name) spec.Asim.Spec.components)
+    in
+    try
+      for _ = 1 to check do
+        m0.Asim.Machine.step ();
+        m2.Asim.Machine.step ();
+        List.iter
+          (fun n ->
+            if m0.Asim.Machine.read n <> m2.Asim.Machine.read n then raise Exit)
+          names
+      done;
+      true
+    with Exit -> false
+  in
+  {
+    oa_workload = name;
+    oa_components = List.length spec.Asim.Spec.components;
+    oa_cycles = cycles;
+    oa_cores_online = Domain.recommended_domain_count ();
+    oa_dead_components = List.length full.Asim.Opt.dead;
+    oa_scheduled = full.Asim.Opt.stats.Asim.Opt.scheduled;
+    oa_steps = steps;
+    oa_flat_speedup_o2_vs_o0 = (if o2_ns > 0.0 then o0_ns /. o2_ns else 0.0);
+    oa_native_o0_ns = native_o0;
+    oa_native_o2_ns = native_o2;
+    oa_native_speedup_o2_vs_o0 =
+      (match (native_o0, native_o2) with
+      | Some a, Some b when b > 0.0 -> Some (a /. b)
+      | _ -> None);
+    oa_lockstep = lockstep;
+  }
+
 (* Both workloads park in halt spins, so any cycle budget is safe. *)
 let sieve_spec () =
   Asim_stackm.Microcode.spec ~program:Asim_stackm.Demos.sieve_reassembled ()
@@ -454,6 +609,16 @@ let run ?(cycles = Asim_stackm.Programs.sieve_cycles) ?(reps = 3)
                partition boundaries cost sync groups, the engine's hard
                case *)
             bench_par_scaling ~reps ~name:"genspec-pipeline-10k"
+              (Asim_fuzz.Gen.pipeline ~cycles:par_cycles ~cores:100 ~depth:99
+                 ~seed:1 ());
+          ];
+        opt_ablation =
+          [
+            bench_opt_ablation ~reps ~jit_cache_dir ~name:"genspec-mesh-10k"
+              (Asim_fuzz.Gen.mesh ~cycles:par_cycles ~width:99 ~height:100
+                 ~seed:1 ());
+            bench_opt_ablation ~reps ~jit_cache_dir
+              ~name:"genspec-pipeline-10k"
               (Asim_fuzz.Gen.pipeline ~cycles:par_cycles ~cores:100 ~depth:99
                  ~seed:1 ());
           ];
@@ -509,6 +674,7 @@ let tiered_vs_best w =
 let agree t =
   List.for_all (fun w -> w.agreement = None) t.workloads
   && List.for_all (fun p -> p.ps_lockstep) t.par_scaling
+  && List.for_all (fun o -> o.oa_lockstep) t.opt_ablation
 
 let opt_ratio_str w a b =
   match ratio w a b with Some r -> Printf.sprintf "%.2fx" r | None -> "-"
@@ -605,6 +771,36 @@ let table t =
            so the speedup column is tagged invalid rather than claimed\n";
       pr "\n")
     t.par_scaling;
+  List.iter
+    (fun o ->
+      pr
+        "opt ablation %s: %d components, %d cycles, %d core%s online, %d dead \
+         component%s at O2, scheduler %s\n"
+        o.oa_workload o.oa_components o.oa_cycles o.oa_cores_online
+        (if o.oa_cores_online = 1 then "" else "s")
+        o.oa_dead_components
+        (if o.oa_dead_components = 1 then "" else "s")
+        (if o.oa_scheduled then "ran" else "gated off");
+      pr "  %-12s %12s %12s %14s\n" "step" "flat words" "words saved"
+        "flat ns/cycle";
+      List.iter
+        (fun s ->
+          pr "  %-12s %12d %12d %14.0f\n" s.os_label s.os_flat_words
+            s.os_delta_words s.os_flat_ns_per_cycle)
+        o.oa_steps;
+      pr "  flat O2 vs O0: %.2fx\n" o.oa_flat_speedup_o2_vs_o0;
+      (match (o.oa_native_o0_ns, o.oa_native_o2_ns) with
+      | Some a, Some b ->
+          pr "  native: O0 %.0f ns/cycle, O2 %.0f ns/cycle%s\n" a b
+            (match o.oa_native_speedup_o2_vs_o0 with
+            | Some r -> Printf.sprintf " (%.2fx)" r
+            | None -> "")
+      | _ -> pr "  native endpoints: unavailable (no OCaml toolchain), skipped\n");
+      pr "  lockstep flat O2 vs O0 (%d cycles, live components): %s\n"
+        (min o.oa_cycles 50)
+        (if o.oa_lockstep then "yes" else "NO — DIVERGED");
+      pr "\n")
+    t.opt_ablation;
   (match List.find_opt (fun w -> w.name = "stackm-sieve") t.workloads with
   | Some w ->
       (match ratio w "interp" "compiled" with
@@ -713,6 +909,40 @@ let par_scaling_json (p : par_scaling) =
       ("runs", Json.List (List.map par_run_json p.ps_runs));
     ]
 
+let opt_step_json (s : opt_step) =
+  Json.Obj
+    [
+      ("step", Json.String s.os_label);
+      ("passes", Json.List (List.map (fun p -> Json.String p) s.os_passes));
+      ("flat_program_words", Json.Int s.os_flat_words);
+      (* signed: a pass that buys nothing (or loses) on this workload is
+         reported, not dropped *)
+      ("words_saved_vs_prev", Json.Int s.os_delta_words);
+      ("flat_ns_per_cycle", Json.Float s.os_flat_ns_per_cycle);
+    ]
+
+let opt_ablation_json (o : opt_ablation) =
+  Json.Obj
+    [
+      ("workload", Json.String o.oa_workload);
+      ("components", Json.Int o.oa_components);
+      ("cycles", Json.Int o.oa_cycles);
+      ("cores_online", Json.Int o.oa_cores_online);
+      ("dead_components", Json.Int o.oa_dead_components);
+      ("scheduler_ran", Json.Bool o.oa_scheduled);
+      ("steps", Json.List (List.map opt_step_json o.oa_steps));
+      ("flat_speedup_o2_vs_o0", Json.Float o.oa_flat_speedup_o2_vs_o0);
+      ( "native_o0_ns_per_cycle",
+        match o.oa_native_o0_ns with Some v -> Json.Float v | None -> Json.Null );
+      ( "native_o2_ns_per_cycle",
+        match o.oa_native_o2_ns with Some v -> Json.Float v | None -> Json.Null );
+      ( "native_speedup_o2_vs_o0",
+        match o.oa_native_speedup_o2_vs_o0 with
+        | Some v -> Json.Float v
+        | None -> Json.Null );
+      ("lockstep_with_o0", Json.Bool o.oa_lockstep);
+    ]
+
 let to_json t =
   Json.Obj
     [
@@ -722,6 +952,7 @@ let to_json t =
       ("cores_online", Json.Int t.cores_online);
       ("workloads", Json.List (List.map workload_json t.workloads));
       ("par_scaling", Json.List (List.map par_scaling_json t.par_scaling));
+      ("opt_ablation", Json.List (List.map opt_ablation_json t.opt_ablation));
       ( "paper",
         Json.Obj
           [

@@ -109,12 +109,48 @@ type par_scaling = {
   ps_runs : par_run list;
 }
 
+(** One cumulative step of the middle-end ablation. *)
+type opt_step = {
+  os_label : string;  (** ["O0"], then ["+constprop"], ["+fuse"], ... *)
+  os_passes : string list;  (** the cumulative pass set this step ran *)
+  os_flat_words : int;
+  os_delta_words : int;
+      (** flat words saved versus the previous step — signed, so a pass
+          with no (or negative) gain on this workload is reported, not
+          dropped *)
+  os_flat_ns_per_cycle : float;
+}
+
+(** The optimizing middle-end's figure: each {!Asim.Opt} pass added
+    cumulatively in pipeline order over a generated 10k-component spec,
+    measured as flat program size and flat ns/cycle per step, plus the
+    native engine at the [-O0]/[-O2] endpoints (separate plugin compiles —
+    the optimizer changes the generated source), with a flat [-O2]-vs-[-O0]
+    lockstep check over the live components as the correctness witness. *)
+type opt_ablation = {
+  oa_workload : string;
+  oa_components : int;
+  oa_cycles : int;
+  oa_cores_online : int;
+  oa_dead_components : int;  (** components DCE stubbed at [-O2] *)
+  oa_scheduled : bool;
+      (** whether the cost-driven scheduler ran (it gates itself off when
+          any selector could raise at run time) *)
+  oa_steps : opt_step list;  (** first step is the [-O0] baseline *)
+  oa_flat_speedup_o2_vs_o0 : float;
+  oa_native_o0_ns : float option;  (** [None] without a toolchain *)
+  oa_native_o2_ns : float option;
+  oa_native_speedup_o2_vs_o0 : float option;
+  oa_lockstep : bool;
+}
+
 type t = {
   cycles : int;
   reps : int;
   cores_online : int;
   workloads : workload list;
   par_scaling : par_scaling list;
+  opt_ablation : opt_ablation list;
 }
 
 val run :
@@ -146,8 +182,9 @@ val tiered_vs_best : workload -> float option
     with 0.95 the accepted floor. *)
 
 val agree : t -> bool
-(** All workloads passed the differential check and every par-scaling
-    workload stayed in lockstep with flat. *)
+(** All workloads passed the differential check, every par-scaling
+    workload stayed in lockstep with flat, and every opt-ablation workload
+    stayed in lockstep across [-O0]/[-O2]. *)
 
 val table : t -> string
 (** Human-readable report, one block per workload. *)

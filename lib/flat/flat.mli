@@ -52,7 +52,10 @@ val create :
     a {{!Asim_obs.Tracer}Chrome trace}.  [peephole] (default [true])
     controls the emit-time peephole pass: constant selectors are folded to
     their live case and adjacent disjoint mask/shift loads of the same slot
-    are fused into one term.
+    are fused into one term.  [peephole] is a deprecated alias kept for
+    ablation: the [Asim_opt] middle-end's [Fuse] pass performs the same
+    rewrites (and more) spec-side before any backend runs, so under [-O1]
+    and above the emit-time pass usually finds nothing left to fold.
 
     [prof] attaches an {!Asim_prof.Prof} profile: evaluation and fault
     counters tick in the kernel's hot loops (one preallocated-array
@@ -168,4 +171,6 @@ val program_size : ?peephole:bool -> Asim_analysis.Analysis.t -> int
 (** Number of instruction words the flat program for this spec occupies —
     a compile-time metric (reported by benchmarks, no machine built).
     Pass [~peephole:false] for the pre-peephole size; the benchmark harness
-    reports both so the pass's effect is visible. *)
+    reports both so the pass's effect is visible.  For spec-level
+    optimization effects, run the analysis through [Asim_opt.Opt.run]
+    first — the opt-ablation benchmark measures program size that way. *)

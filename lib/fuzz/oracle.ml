@@ -25,6 +25,14 @@ let all =
    same observables. *)
 let available = function Native -> Asim_jit.Jit.available () | _ -> true
 
+(* Which engines consume the optimized analysis when the oracle runs at
+   [-O1]/[-O2].  The reference interpreters/compilers stay on the raw spec so
+   a middle-end miscompile shows up as a divergence instead of agreeing with
+   itself on both sides. *)
+let optimized_class = function
+  | Flat | FlatFull | Par | Native | Tiered -> true
+  | Interp | Compiled | Unoptimized | Lowered | Buggy -> false
+
 let engine_to_string = function
   | Interp -> "interp"
   | Compiled -> "compiled"
@@ -102,24 +110,43 @@ type observation = {
 
 let default_feed = [ 3; 1; 4; 1; 5; 9; 2; 6; 5; 3; 5; 8; 9; 7; 9; 3; 2; 3; 8; 4 ]
 
-let observe ?(feed = default_feed) ?cycles engine (spec : Spec.t) =
+let observe ?(feed = default_feed) ?cycles ?(opt = Asim_opt.Opt.O0) engine
+    (spec : Spec.t) =
   let cycles =
     match cycles with
     | Some n -> n
     | None -> Option.value spec.Spec.cycles ~default:20
   in
   let analysis = Asim_analysis.Analysis.analyze spec in
+  (* The dead list is a property of (spec, opt level), not of the engine: it
+     must mask the same names in every observation — reference included —
+     or DCE itself would read as a divergence. *)
+  let opt_result =
+    match opt with
+    | Asim_opt.Opt.O0 -> None
+    | level -> Some (Asim_opt.Opt.run_result ~level analysis)
+  in
+  let analysis =
+    match opt_result with
+    | Some r when optimized_class engine -> r.Asim_opt.Opt.analysis
+    | _ -> analysis
+  in
+  let masked = Hashtbl.create 8 in
+  (match opt_result with
+  | Some r -> List.iter (fun n -> Hashtbl.replace masked n ()) r.Asim_opt.Opt.dead
+  | None -> ());
   let buf = Buffer.create 512 in
   let io, events = Io.recording ~feed () in
   let config = { Machine.io; trace = Trace.buffer_sink buf; faults = [] } in
   let m = build engine ~config analysis in
+  let read n = if Hashtbl.mem masked n then 0 else m.Machine.read n in
   let names = List.map (fun (c : Component.t) -> c.name) spec.Spec.components in
   let snaps = ref [] in
   let error = ref None in
   (try
      for _ = 1 to cycles do
        Machine.run m ~cycles:1;
-       snaps := List.map (fun n -> (n, m.Machine.read n)) names :: !snaps
+       snaps := List.map (fun n -> (n, read n)) names :: !snaps
      done
    with Error.Error { phase = Error.Runtime; message; _ } -> error := Some message);
   let cells =
@@ -136,7 +163,7 @@ let observe ?(feed = default_feed) ?cycles engine (spec : Spec.t) =
     trace = Buffer.contents buf;
     events = events ();
     cells;
-    outputs = List.map (fun n -> (n, m.Machine.read n)) names;
+    outputs = List.map (fun n -> (n, read n)) names;
     total_accesses = Stats.total_accesses m.Machine.stats;
     error = !error;
   }
@@ -206,18 +233,18 @@ let diff ~engine_a ~engine_b (a : observation) (b : observation) =
       }
   end
 
-let check ?feed ?cycles ?(engines = all) spec =
+let check ?feed ?cycles ?opt ?(engines = all) spec =
   match engines with
   | [] | [ _ ] -> None
   | reference :: rest ->
-      let ref_obs = observe ?feed ?cycles reference spec in
+      let ref_obs = observe ?feed ?cycles ?opt reference spec in
       List.fold_left
         (fun acc engine ->
           match acc with
           | Some _ -> acc
           | None ->
               diff ~engine_a:reference ~engine_b:engine ref_obs
-                (observe ?feed ?cycles engine spec))
+                (observe ?feed ?cycles ?opt engine spec))
         None rest
 
 let divergence_to_string d =

@@ -69,10 +69,18 @@ val default_feed : int list
 (** The input stream served to [op = 2] memories: the first 20 digits of pi,
     repeated as needed. *)
 
-val observe : ?feed:int list -> ?cycles:int -> engine -> Asim_core.Spec.t -> observation
+val observe :
+  ?feed:int list -> ?cycles:int -> ?opt:Asim_opt.Opt.level -> engine ->
+  Asim_core.Spec.t -> observation
 (** Run [spec] on one engine for [cycles] (default: the spec's [= N]
     directive, else 20), recording all observables.  A runtime error stops
-    the run and is recorded, not raised. *)
+    the run and is recorded, not raised.  With [opt] above [O0] the
+    optimized-class engines (flat, flat-full, par, native, tiered) consume
+    the [Asim_opt.Opt.run] rewrite while the reference class (interp,
+    compiled, unoptimized, lowered, buggy) stays on the raw spec — a
+    middle-end miscompile therefore surfaces as a divergence.  Components
+    stubbed by dead-component elimination are masked to 0 in the snapshots
+    and final outputs of {e every} engine so DCE itself is not reported. *)
 
 type divergence = {
   engine_a : engine;  (** the reference *)
@@ -87,9 +95,10 @@ val diff :
   divergence option
 
 val check :
-  ?feed:int list -> ?cycles:int -> ?engines:engine list -> Asim_core.Spec.t ->
-  divergence option
+  ?feed:int list -> ?cycles:int -> ?opt:Asim_opt.Opt.level ->
+  ?engines:engine list -> Asim_core.Spec.t -> divergence option
 (** Observe [spec] on every engine (default {!all}) and compare each against
-    the first; [None] means all engines agree on everything. *)
+    the first; [None] means all engines agree on everything.  [opt] (default
+    [O0]) optimizes the optimized-class engines as in {!observe}. *)
 
 val divergence_to_string : divergence -> string

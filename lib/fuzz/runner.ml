@@ -84,7 +84,7 @@ type work_result = {
   w_failure : (failure * Asim_core.Spec.t) option;  (** failure and shrunk witness *)
 }
 
-let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
+let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed ?opt
     ?(engines = Oracle.all) ?(start = 0) ?(shrink = true) ?(on_spec = fun _ _ -> ())
     ?(log = fun _ -> ()) ?(jobs = 1) ~seed ~count ~size () =
   (* Engines that cannot run here (native without a toolchain) are dropped
@@ -112,7 +112,7 @@ let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
   let check_spec index spec =
     if not (roundtrips spec) then Some Roundtrip_mismatch
     else
-      match Oracle.check ?feed ~engines spec with
+      match Oracle.check ?feed ?opt ~engines spec with
       | Some d -> Some (Divergence d)
       | None -> None
       | exception Error.Error e ->
@@ -145,7 +145,7 @@ let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
       | Some failure ->
           let keep =
             match failure with
-            | Divergence _ -> fun s -> Oracle.check ?feed ~engines s <> None
+            | Divergence _ -> fun s -> Oracle.check ?feed ?opt ~engines s <> None
             | Roundtrip_mismatch -> fun s -> not (roundtrips s)
           in
           let shrunk =
@@ -160,7 +160,7 @@ let run ?artifacts_dir ?time_budget ?(tracer = Asim_obs.Tracer.null) ?feed
             match failure with
             | Roundtrip_mismatch -> Roundtrip_mismatch
             | Divergence d -> (
-                match Oracle.check ?feed ~engines shrunk with
+                match Oracle.check ?feed ?opt ~engines shrunk with
                 | Some d' -> Divergence d'
                 | None -> Divergence d)
           in

@@ -29,6 +29,7 @@ val run :
   ?time_budget:float ->
   ?tracer:Asim_obs.Tracer.t ->
   ?feed:int list ->
+  ?opt:Asim_opt.Opt.level ->
   ?engines:Oracle.engine list ->
   ?start:int ->
   ?shrink:bool ->

@@ -100,8 +100,10 @@ let require_include_dir () =
 (* --- cache layout ------------------------------------------------------------ *)
 
 (* Bump when the generated code's shape changes so stale artifacts from an
-   older generator are never Dynlinked. *)
-let generator_version = 1
+   older generator are never Dynlinked.  2: the cache key covers the
+   evaluation order (the optimizer's scheduler reorders components without
+   changing the pretty-printed spec text). *)
+let generator_version = 2
 
 let default_cache_dir () =
   match Sys.getenv_opt "ASIM_JIT_CACHE_DIR" with
@@ -124,8 +126,16 @@ let rec ensure_dir path =
     try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
+(* The generated module bakes in the evaluation order, and the optimizer's
+   scheduler can permute it without altering the spec text — so the order is
+   part of the key. *)
 let spec_md5 (analysis : Analysis.t) =
-  Digest.to_hex (Digest.string (Pretty.spec analysis.Analysis.spec))
+  let order_names =
+    List.map (fun (c : Component.t) -> c.name) analysis.Analysis.order
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00" (Pretty.spec analysis.Analysis.spec :: order_names)))
 
 let artifact_ext = if Dynlink.is_native then ".cmxs" else ".cmo"
 

@@ -15,6 +15,7 @@ type config = {
   cache_capacity : int;
   store_capacity : int;
   default_timeout_s : float option;
+  opt : Asim.Opt.level;
   tracer : Tracer.t;
 }
 
@@ -27,6 +28,7 @@ let default_config =
     cache_capacity = 64;
     store_capacity = 1024;
     default_timeout_s = None;
+    opt = Asim.Opt.O2;
     tracer = Tracer.null;
   }
 
@@ -669,7 +671,7 @@ let create ?(config = default_config) () =
           sid;
           runner =
             Runner.create ~cache_capacity:config.cache_capacity ~metrics
-              ~tracer:config.tracer ();
+              ~tracer:config.tracer ~opt:config.opt ();
           smutex = Mutex.create ();
           scond = Condition.create ();
           queue = Queue.create ();

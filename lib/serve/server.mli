@@ -46,12 +46,13 @@ type config = {
   cache_capacity : int;  (** compiled-spec cache entries per shard *)
   store_capacity : int;  (** content-addressed spec store entries *)
   default_timeout_s : float option;  (** deadline for jobs that name none *)
+  opt : Asim.Opt.level;  (** middle-end level for jobs that name none *)
   tracer : Asim_obs.Tracer.t;
 }
 
 val default_config : config
 (** 1 shard, queue 256, quota 64, 1 MiB lines, cache 64, store 1024, no
-    default timeout, null tracer. *)
+    default timeout, middle-end at [O2], null tracer. *)
 
 type t
 

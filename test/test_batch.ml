@@ -250,7 +250,8 @@ let test_pool_sync_is_immediate () =
 
 let job ?id ?(engine = Asim.Compiled) ?(optimize = true) ?cycles ?(inputs = [])
     ?(want = [ Proto.Outputs ]) ?timeout_s source =
-  { Proto.id; trace_id = None; source; engine; optimize; cycles; inputs; want; timeout_s }
+  { Proto.id; trace_id = None; source; engine; optimize; opt = None; cycles; inputs; want;
+    timeout_s }
 
 let test_runner_cached_equals_fresh () =
   (* The same job through a warm cache must render the identical result line

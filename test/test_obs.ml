@@ -67,6 +67,7 @@ let test_batch_job_deterministic_under_mock_clock () =
           inputs = [];
           want = [ Asim_batch.Proto.Outputs ];
           timeout_s = Some 10.0;
+          opt = None;
         }
       in
       let outcome = Asim_batch.Runner.run_job t job in
